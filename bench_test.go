@@ -1,0 +1,190 @@
+// Repository-level benchmarks: one benchmark per table and figure of the
+// paper's evaluation section (§6), each measuring a representative sweep
+// point of the corresponding experiment. The full parameter sweeps — every
+// point of every curve — are produced by `go run ./cmd/paxbench -exp all`;
+// these benchmarks pin the per-point costs under `go test -bench`.
+//
+// Mapping (see DESIGN.md §5 and EXPERIMENTS.md):
+//
+//	BenchmarkFig7Queries   — Fig. 7  query table (compilation)
+//	BenchmarkFig9a/9b      — Fig. 9  Experiment 1 (time vs fragmentation)
+//	BenchmarkFig10a..d     — Fig. 10 Experiment 2 (parallel time vs size)
+//	BenchmarkFig11a..d     — Fig. 11 Experiment 3 (total computation)
+//	BenchmarkTableT2       — Experiment-2 fragment-size table (FT2 build)
+//	BenchmarkTrafficA1     — §3.4 communication bound (bytes metrics)
+package paxq_test
+
+import (
+	"sync"
+	"testing"
+
+	"paxq/internal/harness"
+	"paxq/internal/pax"
+	"paxq/internal/xpath"
+)
+
+// benchCfg keeps benchmark fixtures modest; raise Scale for bigger runs.
+var benchCfg = harness.Config{Scale: 0.01, Runs: 1, Seed: 1}
+
+var (
+	ft1Once sync.Once
+	ft1Eng  *pax.Engine
+	ft2Once sync.Once
+	ft2Eng  *pax.Engine
+)
+
+func engineFT1(b *testing.B) *pax.Engine {
+	b.Helper()
+	ft1Once.Do(func() {
+		eng, err := harness.BuildFT1Engine(benchCfg, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ft1Eng = eng
+	})
+	return ft1Eng
+}
+
+func engineFT2(b *testing.B) *pax.Engine {
+	b.Helper()
+	ft2Once.Do(func() {
+		eng, err := harness.BuildFT2Engine(benchCfg, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ft2Eng = eng
+	})
+	return ft2Eng
+}
+
+// runVariants benchmarks each algorithm variant of one figure, reporting
+// wall nanoseconds (the paper's parallel/evaluation time) per op plus the
+// total site computation and wire bytes as custom metrics.
+func runVariants(b *testing.B, eng *pax.Engine, query string, variants map[string]pax.Options) {
+	for name, opts := range variants {
+		b.Run(name, func(b *testing.B) {
+			var totalCPU, bytes int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run(query, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalCPU += res.TotalCompute.Nanoseconds()
+				bytes += res.BytesSent + res.BytesRecv
+			}
+			b.ReportMetric(float64(totalCPU)/float64(b.N), "totalcpu-ns/op")
+			b.ReportMetric(float64(bytes)/float64(b.N), "wire-B/op")
+		})
+	}
+}
+
+var (
+	vPaX3NA = pax.Options{Algorithm: pax.PaX3}
+	vPaX3XA = pax.Options{Algorithm: pax.PaX3, Annotations: true}
+	vPaX2NA = pax.Options{Algorithm: pax.PaX2}
+	vPaX2XA = pax.Options{Algorithm: pax.PaX2, Annotations: true}
+)
+
+// BenchmarkFig7Queries compiles the four experiment queries (Fig. 7).
+func BenchmarkFig7Queries(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range harness.PaperQueries {
+			if _, err := xpath.Compile(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig9a — Experiment 1, query Q1 at 8 fragments.
+func BenchmarkFig9a(b *testing.B) {
+	runVariants(b, engineFT1(b), harness.Q1, map[string]pax.Options{
+		"PaX3-NA": vPaX3NA, "PaX3-XA": vPaX3XA,
+	})
+}
+
+// BenchmarkFig9b — Experiment 1, query Q4 at 8 fragments.
+func BenchmarkFig9b(b *testing.B) {
+	runVariants(b, engineFT1(b), harness.Q4, map[string]pax.Options{
+		"PaX3-NA": vPaX3NA, "PaX2-NA": vPaX2NA,
+	})
+}
+
+// BenchmarkFig10a — Experiment 2, query Q1 over FT2.
+func BenchmarkFig10a(b *testing.B) {
+	runVariants(b, engineFT2(b), harness.Q1, map[string]pax.Options{
+		"PaX3-NA": vPaX3NA, "PaX3-XA": vPaX3XA,
+	})
+}
+
+// BenchmarkFig10b — Experiment 2, query Q2 over FT2.
+func BenchmarkFig10b(b *testing.B) {
+	runVariants(b, engineFT2(b), harness.Q2, map[string]pax.Options{
+		"PaX3-NA": vPaX3NA, "PaX3-XA": vPaX3XA,
+	})
+}
+
+// BenchmarkFig10c — Experiment 2, query Q3 over FT2.
+func BenchmarkFig10c(b *testing.B) {
+	runVariants(b, engineFT2(b), harness.Q3, map[string]pax.Options{
+		"PaX3-NA": vPaX3NA, "PaX2-NA": vPaX2NA, "PaX2-XA": vPaX2XA,
+	})
+}
+
+// BenchmarkFig10d — Experiment 2, query Q4 over FT2.
+func BenchmarkFig10d(b *testing.B) {
+	runVariants(b, engineFT2(b), harness.Q4, map[string]pax.Options{
+		"PaX3-NA": vPaX3NA, "PaX2-NA": vPaX2NA,
+	})
+}
+
+// Figures 11(a–d) measure the same runs' total computation; the benchmark
+// driver reports it via the totalcpu-ns/op metric on dedicated runs.
+func BenchmarkFig11a(b *testing.B) {
+	runVariants(b, engineFT2(b), harness.Q1, map[string]pax.Options{
+		"PaX3-NA": vPaX3NA, "PaX3-XA": vPaX3XA,
+	})
+}
+
+// BenchmarkFig11b — Experiment 3, query Q2.
+func BenchmarkFig11b(b *testing.B) {
+	runVariants(b, engineFT2(b), harness.Q2, map[string]pax.Options{
+		"PaX3-NA": vPaX3NA, "PaX3-XA": vPaX3XA,
+	})
+}
+
+// BenchmarkFig11c — Experiment 3, query Q3.
+func BenchmarkFig11c(b *testing.B) {
+	runVariants(b, engineFT2(b), harness.Q3, map[string]pax.Options{
+		"PaX3-NA": vPaX3NA, "PaX2-NA": vPaX2NA, "PaX2-XA": vPaX2XA,
+	})
+}
+
+// BenchmarkFig11d — Experiment 3, query Q4.
+func BenchmarkFig11d(b *testing.B) {
+	runVariants(b, engineFT2(b), harness.Q4, map[string]pax.Options{
+		"PaX3-NA": vPaX3NA, "PaX2-NA": vPaX2NA,
+	})
+}
+
+// BenchmarkTableT2 builds the FT2 layout and its size table.
+func BenchmarkTableT2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.FT2Sizes(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrafficA1 pins the §3.4 communication costs: PaX2 vs the naive
+// baseline on the FT2 deployment, with bytes-per-query as the metric that
+// matters (wire-B/op).
+func BenchmarkTrafficA1(b *testing.B) {
+	runVariants(b, engineFT2(b), "//zzz", map[string]pax.Options{
+		"PaX2":  vPaX2NA,
+		"Naive": {Algorithm: pax.Naive},
+	})
+}

@@ -1,0 +1,52 @@
+// Command paxgen generates XMark-like XML documents — the workload of the
+// paper's experiments (§6).
+//
+// Usage:
+//
+//	paxgen -sites 4 -mb 10 -seed 1 -o data.xml
+//
+// generates a document with a "sites" root and 4 XMark "site" children
+// totalling roughly 10 MB.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paxq/internal/xmark"
+	"paxq/internal/xmltree"
+)
+
+func main() {
+	sites := flag.Int("sites", 2, "number of XMark site subtrees")
+	mb := flag.Float64("mb", 1.0, "approximate total size in megabytes")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if *sites < 1 || *mb <= 0 {
+		fmt.Fprintln(os.Stderr, "paxgen: -sites must be >= 1 and -mb > 0")
+		os.Exit(2)
+	}
+	cal := xmark.Calibrate()
+	spec := cal.SpecForBytes(int(*mb * 1e6 / float64(*sites)))
+	tree := xmark.Generate(*sites, spec, *seed)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paxgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := xmltree.Serialize(w, tree.Root); err != nil {
+		fmt.Fprintf(os.Stderr, "paxgen: %v\n", err)
+		os.Exit(1)
+	}
+	stats := tree.ComputeStats()
+	fmt.Fprintf(os.Stderr, "paxgen: %d sites, %d nodes, ~%.2f MB\n", *sites, stats.Nodes, float64(stats.Bytes)/1e6)
+}

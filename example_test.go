@@ -1,0 +1,78 @@
+package paxq_test
+
+import (
+	"fmt"
+	"log"
+
+	"paxq"
+)
+
+// The clientele document of the paper's Fig. 1 (abbreviated).
+const clienteleDoc = `<clientele>
+  <client><name>Anna</name><country>US</country>
+    <broker><name>Etrade</name>
+      <market><name>NASDAQ</name><stock><code>GOOG</code><buy>374</buy></stock></market>
+    </broker>
+  </client>
+  <client><name>Lisa</name><country>Canada</country>
+    <broker><name>CIBC</name>
+      <market><name>TSE</name><stock><code>GOOG</code><buy>382</buy></stock></market>
+    </broker>
+  </client>
+</clientele>`
+
+// Evaluate a data-selecting query over a fragmented, distributed document.
+func Example() {
+	doc, err := paxq.ParseDocumentString(clienteleDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := paxq.NewCluster(doc, paxq.ClusterOptions{CutPaths: []string{"//broker"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	answers, err := cluster.Evaluate(`//broker[//stock/code = "GOOG"]/name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range answers {
+		fmt.Println(a.Value)
+	}
+	// Output:
+	// Etrade
+	// CIBC
+}
+
+// Boolean queries run on the single-pass ParBoX engine.
+func ExampleCluster_EvaluateBool() {
+	doc, _ := paxq.ParseDocumentString(clienteleDoc)
+	cluster, _ := paxq.NewCluster(doc, paxq.ClusterOptions{Fragments: 3, Seed: 1})
+	defer cluster.Close()
+
+	goog, _ := cluster.EvaluateBool(`[//stock/code = "GOOG"]`)
+	msft, _ := cluster.EvaluateBool(`[//stock/code = "MSFT"]`)
+	fmt.Println(goog, msft)
+	// Output: true false
+}
+
+// Query exposes the cost profile that the paper's guarantees bound.
+func ExampleCluster_Query() {
+	doc, _ := paxq.ParseDocumentString(clienteleDoc)
+	cluster, _ := paxq.NewCluster(doc, paxq.ClusterOptions{CutPaths: []string{"//market"}})
+	defer cluster.Close()
+
+	answers, stats, _ := cluster.Query(`client[country = "US"]/name`,
+		paxq.QueryOptions{Algorithm: "pax2", Annotations: true})
+	fmt.Printf("%d answer(s), %d stage(s), max %d visit(s) per site\n",
+		len(answers), stats.Stages, stats.MaxSiteVisits)
+	// Output: 1 answer(s), 1 stage(s), max 1 visit(s) per site
+}
+
+// NormalForm renders the §2.2 normal form of a query.
+func ExampleNormalForm() {
+	nf, _ := paxq.NormalForm(`client[country/text() = "us"]/name`)
+	fmt.Println(nf)
+	// Output: client/ε[country/ε[text() = "us"]]/name
+}

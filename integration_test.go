@@ -1,0 +1,135 @@
+package paxq_test
+
+import (
+	"sort"
+	"testing"
+
+	"paxq/internal/centeval"
+	"paxq/internal/fragment"
+	"paxq/internal/harness"
+	"paxq/internal/pax"
+	"paxq/internal/xmark"
+	"paxq/internal/xmltree"
+	"paxq/internal/xpath"
+)
+
+// TestSoakXMarkAllVariants is the repository's end-to-end soak test: a
+// realistically shaped XMark document (~60k nodes), fragmented three
+// different ways (top-level, size-based, random-nested) and deployed over
+// several sites, queried with the paper's Q1–Q4 plus a batch of additional
+// queries, across every algorithm/annotation combination — all checked
+// against the centralized oracle.
+func TestSoakXMarkAllVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	tree := xmark.Generate(3, xmark.DefaultSite.Scale(2), 99)
+	queries := []string{
+		harness.Q1, harness.Q2, harness.Q3, harness.Q4,
+		"/sites/site/regions/namerica/item/name",
+		`//open_auction[current/val() > 100]/itemref`,
+		`//person[not(creditcard)]/name`,
+		`//item[location = "US" or location = "Canada"]//text`,
+		`//closed_auction[price/val() >= 100 and price/val() < 300]/date`,
+		"/sites/site/*/person",
+		`//annotation[happiness/val() >= 7]/author`,
+	}
+	type cutSpec struct {
+		name string
+		cuts []xmltree.NodeID
+	}
+	var specs []cutSpec
+	var top []xmltree.NodeID
+	tree.Root.ElementChildren(func(n *xmltree.Node) bool {
+		top = append(top, n.ID)
+		return true
+	})
+	specs = append(specs, cutSpec{"top-level", top[1:]})
+	specs = append(specs, cutSpec{"by-size", fragment.CutsBySize(tree, 8000)})
+	specs = append(specs, cutSpec{"random-nested", fragment.RandomCuts(tree, 12, 5)})
+
+	variants := []pax.Options{
+		{Algorithm: pax.PaX3},
+		{Algorithm: pax.PaX3, Annotations: true},
+		{Algorithm: pax.PaX2},
+		{Algorithm: pax.PaX2, Annotations: true},
+	}
+
+	for _, spec := range specs {
+		ft, err := fragment.Cut(tree, spec.cuts)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.name, err)
+		}
+		topo := pax.RoundRobin(ft, 4)
+		local, _ := pax.BuildLocalCluster(topo)
+		eng := pax.NewEngine(topo, local)
+		for _, query := range queries {
+			c := xpath.MustCompile(query)
+			want := centeval.EvalVector(tree, c)
+			for _, opts := range variants {
+				res, err := eng.Run(query, opts)
+				if err != nil {
+					t.Fatalf("%s %v %q: %v", spec.name, opts.Algorithm, query, err)
+				}
+				got := make([]xmltree.NodeID, 0, len(res.Answers))
+				for _, a := range res.Answers {
+					got = append(got, ft.Frag(a.Frag).Origin[a.Node])
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if len(got) != len(want) {
+					t.Fatalf("%s %v(XA=%v) %q: %d answers, want %d",
+						spec.name, opts.Algorithm, opts.Annotations, query, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s %v(XA=%v) %q: answer mismatch at %d",
+							spec.name, opts.Algorithm, opts.Annotations, query, i)
+					}
+				}
+				maxVisits := 3
+				if opts.Algorithm == pax.PaX2 {
+					maxVisits = 2
+				}
+				if res.MaxVisits > maxVisits {
+					t.Fatalf("%s %v %q: %d visits", spec.name, opts.Algorithm, query, res.MaxVisits)
+				}
+			}
+		}
+	}
+}
+
+// TestSoakBooleanProtocol runs a batch of Boolean queries over the soak
+// document through the one-visit protocol.
+func TestSoakBooleanProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	tree := xmark.Generate(2, xmark.DefaultSite, 17)
+	ft, err := fragment.Cut(tree, fragment.RandomCuts(tree, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := pax.RoundRobin(ft, 3)
+	local, _ := pax.BuildLocalCluster(topo)
+	eng := pax.NewEngine(topo, local)
+	queries := []string{
+		`[//person/address/country = "US"]`,
+		`[//person/address/country = "Atlantis"]`,
+		`[//open_auction[current/val() > 10] and //closed_auction]`,
+		`[not(//unheard_of)]`,
+		`[//annotation/happiness/val() >= 1]`,
+	}
+	for _, q := range queries {
+		want := centeval.EvalBool(tree, xpath.MustCompile(q))
+		got, res, err := eng.RunBoolean(q, pax.Options{})
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if got != want {
+			t.Errorf("%q = %v want %v", q, got, want)
+		}
+		if res.MaxVisits > 1 {
+			t.Errorf("%q: %d visits", q, res.MaxVisits)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package boolexpr implements the Boolean-formula engine that underpins
+// partial evaluation in paxq.
+//
+// During distributed query evaluation each site evaluates the whole query
+// over its local fragments. Wherever a value depends on data held by another
+// fragment, the site emits a fresh Boolean variable instead of a constant.
+// The resulting "partial answers" are formulas over such variables — the
+// residual functions of partial evaluation. The coordinator later unifies
+// variables with the values reported by other fragments, collapsing every
+// formula to a constant.
+//
+// Formulas are immutable DAGs built through smart constructors that perform
+// constant folding, flattening, deduplication and involution elimination, so
+// a formula never contains a redundant True/False leaf, a nested conjunction
+// inside a conjunction, or a double negation. This keeps residual functions
+// small: their size is bounded by the number of distinct variables they
+// mention, which in paxq is bounded by |Q| per virtual node.
+package boolexpr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a Boolean variable. Variable identity is global within a
+// query evaluation; the mapping from a Var to its meaning (which fragment,
+// which vector, which entry) is maintained by the caller, typically through
+// an Allocator.
+type Var int32
+
+// NoVar is the zero Var and is never allocated.
+const NoVar Var = 0
+
+// Op enumerates formula node kinds.
+type Op uint8
+
+// Formula node kinds.
+const (
+	OpFalse Op = iota
+	OpTrue
+	OpVar
+	OpNot
+	OpAnd
+	OpOr
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpFalse:
+		return "false"
+	case OpTrue:
+		return "true"
+	case OpVar:
+		return "var"
+	case OpNot:
+		return "not"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Formula is an immutable Boolean formula. The zero value is not valid; use
+// the package constructors. Formulas may share sub-structure freely.
+type Formula struct {
+	op   Op
+	v    Var        // valid when op == OpVar
+	kids []*Formula // valid when op is OpNot (1 kid), OpAnd, OpOr (>=2 kids)
+}
+
+// Singleton constants. Pointer equality against these is valid for any
+// formula produced by this package's constructors.
+var (
+	tru = &Formula{op: OpTrue}
+	fls = &Formula{op: OpFalse}
+)
+
+// True returns the constant true formula.
+func True() *Formula { return tru }
+
+// False returns the constant false formula.
+func False() *Formula { return fls }
+
+// Const returns the constant formula for b.
+func Const(b bool) *Formula {
+	if b {
+		return tru
+	}
+	return fls
+}
+
+// V returns the formula consisting of the single variable v.
+func V(v Var) *Formula {
+	if v == NoVar {
+		panic("boolexpr: V(NoVar)")
+	}
+	return &Formula{op: OpVar, v: v}
+}
+
+// Op reports the top-level kind of f.
+func (f *Formula) Op() Op { return f.op }
+
+// Variable returns the variable of an OpVar formula and NoVar otherwise.
+func (f *Formula) Variable() Var {
+	if f.op == OpVar {
+		return f.v
+	}
+	return NoVar
+}
+
+// Kids returns the immediate children of f. Callers must not mutate the
+// returned slice.
+func (f *Formula) Kids() []*Formula { return f.kids }
+
+// IsConst reports whether f is a constant, and its value.
+func (f *Formula) IsConst() (val, ok bool) {
+	switch f.op {
+	case OpTrue:
+		return true, true
+	case OpFalse:
+		return false, true
+	}
+	return false, false
+}
+
+// IsTrue reports whether f is the constant true.
+func (f *Formula) IsTrue() bool { return f.op == OpTrue }
+
+// IsFalse reports whether f is the constant false.
+func (f *Formula) IsFalse() bool { return f.op == OpFalse }
+
+// Not returns the negation of f with double negations and constants folded.
+func Not(f *Formula) *Formula {
+	switch f.op {
+	case OpTrue:
+		return fls
+	case OpFalse:
+		return tru
+	case OpNot:
+		return f.kids[0]
+	}
+	return &Formula{op: OpNot, kids: []*Formula{f}}
+}
+
+// And returns the conjunction of fs. Constants are folded, nested
+// conjunctions are flattened, duplicates removed, and complementary literal
+// pairs (x, ¬x) collapse the whole conjunction to false.
+func And(fs ...*Formula) *Formula { return nary(OpAnd, fs) }
+
+// Or returns the disjunction of fs, with simplifications dual to And.
+func Or(fs ...*Formula) *Formula { return nary(OpOr, fs) }
+
+func nary(op Op, fs []*Formula) *Formula {
+	// Identity and absorbing elements for the operation.
+	identity, absorber := tru, fls
+	if op == OpOr {
+		identity, absorber = fls, tru
+	}
+	out := make([]*Formula, 0, len(fs))
+	seen := make(map[*Formula]bool, len(fs))
+	var add func(f *Formula) bool // returns false if the result is absorbed
+	add = func(f *Formula) bool {
+		if f == nil {
+			panic("boolexpr: nil operand")
+		}
+		if f == absorber || f.op == absorber.op {
+			return false
+		}
+		if f == identity || f.op == identity.op {
+			return true
+		}
+		if f.op == op { // flatten
+			for _, k := range f.kids {
+				if !add(k) {
+					return false
+				}
+			}
+			return true
+		}
+		if seen[f] {
+			return true
+		}
+		seen[f] = true
+		out = append(out, f)
+		return true
+	}
+	for _, f := range fs {
+		if !add(f) {
+			return absorber
+		}
+	}
+	// Complementary-pair detection on variables and pointer-identical
+	// sub-formulas: x ∧ ¬x → false, x ∨ ¬x → true.
+	for _, f := range out {
+		if f.op == OpNot {
+			inner := f.kids[0]
+			if seen[inner] {
+				return absorber
+			}
+		}
+	}
+	// Absorption on shared sub-structure: x ∧ (x ∨ y) → x and
+	// x ∨ (x ∧ y) → x. Residual formulas share sub-DAGs heavily (the same
+	// variable vector entries feed many connectives), so pointer-identity
+	// absorption fires often and keeps shipped formulas small.
+	dual := OpOr
+	if op == OpOr {
+		dual = OpAnd
+	}
+	kept := out[:0]
+	for _, f := range out {
+		absorbed := false
+		if f.op == dual {
+			for _, k := range f.kids {
+				if seen[k] {
+					absorbed = true
+					break
+				}
+			}
+		}
+		if !absorbed {
+			kept = append(kept, f)
+		}
+	}
+	out = kept
+	switch len(out) {
+	case 0:
+		return identity
+	case 1:
+		return out[0]
+	}
+	return &Formula{op: op, kids: out}
+}
+
+// Implies returns ¬a ∨ b.
+func Implies(a, b *Formula) *Formula { return Or(Not(a), b) }
+
+// Vars appends every distinct variable occurring in f to dst and returns the
+// extended slice, sorted ascending.
+func (f *Formula) Vars(dst []Var) []Var {
+	set := make(map[Var]bool)
+	f.visitVars(func(v Var) { set[v] = true }, make(map[*Formula]bool))
+	for v := range set {
+		dst = append(dst, v)
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+func (f *Formula) visitVars(fn func(Var), done map[*Formula]bool) {
+	if done[f] {
+		return
+	}
+	done[f] = true
+	if f.op == OpVar {
+		fn(f.v)
+		return
+	}
+	for _, k := range f.kids {
+		k.visitVars(fn, done)
+	}
+}
+
+// HasVars reports whether f mentions any variable, i.e. is not ground.
+func (f *Formula) HasVars() bool {
+	switch f.op {
+	case OpTrue, OpFalse:
+		return false
+	case OpVar:
+		return true
+	}
+	for _, k := range f.kids {
+		if k.HasVars() {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of nodes in f counted as a tree (shared subterms
+// counted once per occurrence). Useful for asserting communication bounds.
+func (f *Formula) Size() int {
+	n := 1
+	for _, k := range f.kids {
+		n += k.Size()
+	}
+	return n
+}
+
+// Eval evaluates f under the total assignment get. It panics if get reports
+// no value for a variable; use PartialEval when the assignment may be
+// incomplete.
+func (f *Formula) Eval(get func(Var) bool) bool {
+	switch f.op {
+	case OpTrue:
+		return true
+	case OpFalse:
+		return false
+	case OpVar:
+		return get(f.v)
+	case OpNot:
+		return !f.kids[0].Eval(get)
+	case OpAnd:
+		for _, k := range f.kids {
+			if !k.Eval(get) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range f.kids {
+			if k.Eval(get) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("boolexpr: corrupt formula")
+}
+
+// String renders f in a compact infix syntax, with variables printed as
+// x<N>. Deterministic for use in tests and debug logs.
+func (f *Formula) String() string {
+	var b strings.Builder
+	f.write(&b, 0)
+	return b.String()
+}
+
+// precedence: Or < And < Not/atom
+func (f *Formula) write(b *strings.Builder, parentPrec int) {
+	prec := 0
+	switch f.op {
+	case OpTrue:
+		b.WriteString("true")
+		return
+	case OpFalse:
+		b.WriteString("false")
+		return
+	case OpVar:
+		fmt.Fprintf(b, "x%d", f.v)
+		return
+	case OpNot:
+		b.WriteString("!")
+		f.kids[0].write(b, 3)
+		return
+	case OpAnd:
+		prec = 2
+	case OpOr:
+		prec = 1
+	}
+	if prec < parentPrec {
+		b.WriteString("(")
+	}
+	sep := " & "
+	if f.op == OpOr {
+		sep = " | "
+	}
+	for i, k := range f.kids {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		k.write(b, prec+1)
+	}
+	if prec < parentPrec {
+		b.WriteString(")")
+	}
+}
+
+// Equal reports structural equality of a and b. Conjunction/disjunction
+// operand order is significant (the constructors preserve insertion order),
+// so Equal is primarily useful for formulas built through identical paths.
+func Equal(a, b *Formula) bool {
+	if a == b {
+		return true
+	}
+	if a.op != b.op || a.v != b.v || len(a.kids) != len(b.kids) {
+		return false
+	}
+	for i := range a.kids {
+		if !Equal(a.kids[i], b.kids[i]) {
+			return false
+		}
+	}
+	return true
+}

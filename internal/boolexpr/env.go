@@ -1,0 +1,163 @@
+package boolexpr
+
+import "fmt"
+
+// Env is a (partial) binding of variables to formulas. It is the vehicle of
+// unification: the coordinator binds the variables a site introduced for a
+// virtual node to the (possibly still symbolic) vector entries reported by
+// the sub-fragment, then resolves.
+//
+// Env is not safe for concurrent mutation; concurrent reads are fine.
+type Env struct {
+	m map[Var]*Formula
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{m: make(map[Var]*Formula)} }
+
+// Len returns the number of bound variables.
+func (e *Env) Len() int { return len(e.m) }
+
+// Bind binds v to f. Rebinding a variable to a different formula is a
+// programming error in the evaluation algorithms and panics loudly rather
+// than silently corrupting an answer.
+func (e *Env) Bind(v Var, f *Formula) {
+	if v == NoVar {
+		panic("boolexpr: Bind(NoVar)")
+	}
+	if old, ok := e.m[v]; ok && !Equal(old, f) {
+		panic(fmt.Sprintf("boolexpr: rebinding x%d from %v to %v", v, old, f))
+	}
+	e.m[v] = f
+}
+
+// BindConst binds v to the constant b.
+func (e *Env) BindConst(v Var, b bool) { e.Bind(v, Const(b)) }
+
+// Lookup returns the binding of v, or nil when unbound.
+func (e *Env) Lookup(v Var) *Formula { return e.m[v] }
+
+// Merge copies all bindings of other into e. Conflicting bindings panic,
+// matching Bind.
+func (e *Env) Merge(other *Env) {
+	if other == nil {
+		return
+	}
+	for v, f := range other.m {
+		e.Bind(v, f)
+	}
+}
+
+// Resolve substitutes bindings into f, transitively following variable
+// chains (a variable may be bound to a formula that itself mentions bound
+// variables, as happens when a parent fragment's variables are expressed in
+// terms of a grandchild fragment's variables). Unbound variables remain
+// symbolic. Resolve detects binding cycles and panics: the fragment tree is
+// acyclic, so a cycle indicates a bug in vector plumbing.
+func (e *Env) Resolve(f *Formula) *Formula {
+	memo := make(map[*Formula]*Formula)
+	return e.resolve(f, memo, make(map[Var]bool))
+}
+
+func (e *Env) resolve(f *Formula, memo map[*Formula]*Formula, onPath map[Var]bool) *Formula {
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	var out *Formula
+	switch f.op {
+	case OpTrue, OpFalse:
+		out = f
+	case OpVar:
+		bound := e.m[f.v]
+		if bound == nil {
+			out = f
+		} else {
+			if onPath[f.v] {
+				panic(fmt.Sprintf("boolexpr: cyclic binding through x%d", f.v))
+			}
+			onPath[f.v] = true
+			out = e.resolve(bound, memo, onPath)
+			delete(onPath, f.v)
+		}
+	case OpNot:
+		out = Not(e.resolve(f.kids[0], memo, onPath))
+	case OpAnd, OpOr:
+		kids := make([]*Formula, len(f.kids))
+		for i, k := range f.kids {
+			kids[i] = e.resolve(k, memo, onPath)
+		}
+		if f.op == OpAnd {
+			out = And(kids...)
+		} else {
+			out = Or(kids...)
+		}
+	default:
+		panic("boolexpr: corrupt formula")
+	}
+	// Memoization is only safe for subterms that do not depend on the
+	// variable path, which holds because bindings are acyclic; on the rare
+	// panic path we never get here.
+	memo[f] = out
+	return out
+}
+
+// MustResolveConst resolves f and returns its constant value, panicking if
+// any variable remains unbound. The evaluation algorithms call this at the
+// point where the theory guarantees groundness (after evalFT unification).
+func (e *Env) MustResolveConst(f *Formula) bool {
+	r := e.Resolve(f)
+	val, ok := r.IsConst()
+	if !ok {
+		panic(fmt.Sprintf("boolexpr: formula not ground after resolution: %v", r))
+	}
+	return val
+}
+
+// Allocator hands out fresh variables. It is used once per distributed query
+// evaluation so that variables introduced by different fragments never
+// collide. The zero value is ready to use but callers normally share one
+// allocator through NewAllocator.
+type Allocator struct {
+	next Var
+}
+
+// NewAllocator returns an allocator whose first variable is 1.
+func NewAllocator() *Allocator { return &Allocator{next: 1} }
+
+// NewAllocatorFrom returns an allocator whose first variable is start.
+// Used to carve private variable ranges disjoint from a deterministic
+// naming scheme (e.g. PaX2's locally-bound qualifier placeholders).
+func NewAllocatorFrom(start Var) *Allocator {
+	if start <= 0 {
+		start = 1
+	}
+	return &Allocator{next: start}
+}
+
+// Fresh returns a previously unused variable.
+func (a *Allocator) Fresh() Var {
+	if a.next == 0 {
+		a.next = 1
+	}
+	v := a.next
+	a.next++
+	return v
+}
+
+// FreshVec returns n previously unused variables as formulas, one per vector
+// entry of a virtual node.
+func (a *Allocator) FreshVec(n int) []*Formula {
+	out := make([]*Formula, n)
+	for i := range out {
+		out[i] = V(a.Fresh())
+	}
+	return out
+}
+
+// Count returns how many variables have been allocated.
+func (a *Allocator) Count() int {
+	if a.next == 0 {
+		return 0
+	}
+	return int(a.next) - 1
+}

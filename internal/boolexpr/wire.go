@@ -1,0 +1,157 @@
+package boolexpr
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire encoding of formulas: a compact postfix byte stream used by the
+// distributed messages. The encoding is the unit of the paper's
+// communication-cost accounting — a residual function crosses the network
+// in O(size of the formula) bytes.
+//
+// Grammar (postfix):
+//
+//	0x00            false
+//	0x01            true
+//	0x02 uvarint    variable
+//	0x03            not   (pops 1)
+//	0x04 uvarint    and   (pops n)
+//	0x05 uvarint    or    (pops n)
+const (
+	wFalse byte = iota
+	wTrue
+	wVar
+	wNot
+	wAnd
+	wOr
+)
+
+// Encode serializes f to the postfix wire format.
+func Encode(f *Formula) []byte {
+	var out []byte
+	var enc func(f *Formula)
+	enc = func(f *Formula) {
+		switch f.op {
+		case OpFalse:
+			out = append(out, wFalse)
+		case OpTrue:
+			out = append(out, wTrue)
+		case OpVar:
+			out = append(out, wVar)
+			out = binary.AppendUvarint(out, uint64(f.v))
+		case OpNot:
+			enc(f.kids[0])
+			out = append(out, wNot)
+		case OpAnd, OpOr:
+			for _, k := range f.kids {
+				enc(k)
+			}
+			op := wAnd
+			if f.op == OpOr {
+				op = wOr
+			}
+			out = append(out, op)
+			out = binary.AppendUvarint(out, uint64(len(f.kids)))
+		default:
+			panic("boolexpr: corrupt formula")
+		}
+	}
+	enc(f)
+	return out
+}
+
+// EncodeVec encodes a vector of formulas.
+func EncodeVec(fs []*Formula) [][]byte {
+	out := make([][]byte, len(fs))
+	for i, f := range fs {
+		out[i] = Encode(f)
+	}
+	return out
+}
+
+// Decode parses the postfix wire format back into a formula. The smart
+// constructors re-apply simplification, so Decode(Encode(f)) is
+// semantically equal to f (and structurally equal for constructor-built
+// formulas).
+func Decode(data []byte) (*Formula, error) {
+	var stack []*Formula
+	pop := func() (*Formula, error) {
+		if len(stack) == 0 {
+			return nil, fmt.Errorf("boolexpr: decode: stack underflow")
+		}
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return f, nil
+	}
+	i := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[i:])
+		if n <= 0 {
+			return 0, fmt.Errorf("boolexpr: decode: bad varint at %d", i)
+		}
+		i += n
+		return v, nil
+	}
+	for i < len(data) {
+		op := data[i]
+		i++
+		switch op {
+		case wFalse:
+			stack = append(stack, False())
+		case wTrue:
+			stack = append(stack, True())
+		case wVar:
+			v, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if v == 0 || v > uint64(^uint32(0)>>1) {
+				return nil, fmt.Errorf("boolexpr: decode: bad variable %d", v)
+			}
+			stack = append(stack, V(Var(v)))
+		case wNot:
+			f, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, Not(f))
+		case wAnd, wOr:
+			n, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if uint64(len(stack)) < n {
+				return nil, fmt.Errorf("boolexpr: decode: %d operands for arity %d", len(stack), n)
+			}
+			kids := make([]*Formula, n)
+			for j := int(n) - 1; j >= 0; j-- {
+				kids[j], _ = pop()
+			}
+			if op == wAnd {
+				stack = append(stack, And(kids...))
+			} else {
+				stack = append(stack, Or(kids...))
+			}
+		default:
+			return nil, fmt.Errorf("boolexpr: decode: unknown opcode %d at %d", op, i-1)
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("boolexpr: decode: %d values left on stack", len(stack))
+	}
+	return stack[0], nil
+}
+
+// DecodeVec decodes a vector of formulas.
+func DecodeVec(data [][]byte) ([]*Formula, error) {
+	out := make([]*Formula, len(data))
+	for i, d := range data {
+		f, err := Decode(d)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		out[i] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeBasic(t *testing.T) {
+	cases := []*Formula{
+		True(),
+		False(),
+		V(1),
+		V(1 << 20),
+		Not(V(3)),
+		And(V(1), V(2)),
+		Or(V(1), Not(V(2)), V(3)),
+		And(Or(V(1), V(2)), Not(And(V(3), V(4)))),
+	}
+	for _, f := range cases {
+		got, err := Decode(Encode(f))
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if !Equal(f, got) {
+			t.Errorf("round trip: %v -> %v", f, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		{},             // empty
+		{wNot},         // underflow
+		{wVar},         // missing varint
+		{wVar, 0},      // variable 0 invalid
+		{wTrue, wTrue}, // two values left
+		{wAnd, 2},      // arity underflow
+		{0xFF},         // unknown opcode
+		{wTrue, wAnd},  // truncated arity varint... (Uvarint on empty)
+	}
+	for _, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("Decode(%v) succeeded, want error", data)
+		}
+	}
+}
+
+func TestEncodeDecodeVec(t *testing.T) {
+	vec := []*Formula{True(), V(5), And(V(1), Not(V(2)))}
+	back, err := DecodeVec(EncodeVec(vec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vec {
+		if !Equal(vec[i], back[i]) {
+			t.Errorf("entry %d: %v -> %v", i, vec[i], back[i])
+		}
+	}
+	if _, err := DecodeVec([][]byte{{wNot}}); err == nil {
+		t.Error("DecodeVec must propagate entry errors")
+	}
+}
+
+// Property: encode/decode preserves semantics under all assignments of a
+// small variable set.
+func TestQuickWireRoundTrip(t *testing.T) {
+	const nv = 4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fm := randomFormula(r, 5, nv)
+		back, err := Decode(Encode(fm))
+		if err != nil {
+			return false
+		}
+		for mask := 0; mask < 1<<nv; mask++ {
+			get := func(v Var) bool { return mask&(1<<(int(v)-1)) != 0 }
+			if fm.Eval(get) != back.Eval(get) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the wire size is linear in the formula size — the residual
+// functions crossing the network stay small.
+func TestQuickWireSizeLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fm := randomFormula(r, 6, 8)
+		return len(Encode(fm)) <= 6*fm.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

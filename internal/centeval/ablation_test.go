@@ -1,0 +1,86 @@
+package centeval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paxq/internal/testutil"
+	"paxq/internal/xmltree"
+	"paxq/internal/xpath"
+)
+
+// Property: the stack-summarization ablation is semantically identical to
+// the optimized evaluator.
+func TestQuickAblationEquivalent(t *testing.T) {
+	f := func(treeSeed, querySeed int64) bool {
+		tr := testutil.RandomTree(treeSeed, 80)
+		src := testutil.RandomQuery(querySeed)
+		c, err := xpath.Compile(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		return testutil.EqualIDs(EvalVector(tr, c), EvalVectorNoSummary(tr, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationOnPaperQueries(t *testing.T) {
+	tr := testutil.PaperTree()
+	for _, src := range []string{
+		"//name",
+		"//market//stock//code",
+		`//broker[//stock/code = "GOOG"]/name`,
+		"client/broker/market/stock/qt",
+	} {
+		c := xpath.MustCompile(src)
+		if !testutil.EqualIDs(EvalVector(tr, c), EvalVectorNoSummary(tr, c)) {
+			t.Errorf("%q: ablation disagrees", src)
+		}
+	}
+}
+
+// chainTree builds a degenerate a/a/.../a/b chain of the given depth — the
+// shape where the ablated full-stack scan is asymptotically worse
+// (O(depth·|Q|) per node versus O(|Q|)).
+func chainTree(depth int) *xmltree.Tree {
+	leaf := xmltree.NewElement("b")
+	n := leaf
+	for i := 0; i < depth; i++ {
+		p := xmltree.NewElement("a")
+		p.Append(n)
+		n = p
+	}
+	root := xmltree.NewElement("root")
+	root.Append(n)
+	return xmltree.NewTree(root)
+}
+
+func TestAblationOnDeepChain(t *testing.T) {
+	tr := chainTree(500)
+	for _, src := range []string{"//a//b", "//b", "//a/a//a/b"} {
+		c := xpath.MustCompile(src)
+		if !testutil.EqualIDs(EvalVector(tr, c), EvalVectorNoSummary(tr, c)) {
+			t.Errorf("%q: ablation disagrees on deep chain", src)
+		}
+	}
+}
+
+func BenchmarkAblationSummarized(b *testing.B) {
+	tr := chainTree(3000)
+	c := xpath.MustCompile("//a//b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EvalVector(tr, c)
+	}
+}
+
+func BenchmarkAblationFullScan(b *testing.B) {
+	tr := chainTree(3000)
+	c := xpath.MustCompile("//a//b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EvalVectorNoSummary(tr, c)
+	}
+}

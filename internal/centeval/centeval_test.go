@@ -1,0 +1,272 @@
+package centeval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paxq/internal/testutil"
+	"paxq/internal/xmltree"
+	"paxq/internal/xpath"
+)
+
+// evalCase runs a query against the Fig. 1 clientele tree and returns the
+// answer values (node Value()) from both evaluators, asserting agreement.
+func evalCase(t *testing.T, src string) []string {
+	t.Helper()
+	tr := testutil.PaperTree()
+	q := xpath.MustParse(src)
+	c, err := xpath.CompileQuery(q, src)
+	if err != nil {
+		t.Fatalf("%q: %v", src, err)
+	}
+	naive := EvalNaive(tr, q)
+	vec := EvalVectorNodes(tr, c)
+	if !testutil.EqualIDs(testutil.IDsOfNodes(naive), testutil.IDsOfNodes(vec)) {
+		t.Fatalf("%q: naive=%v vector=%v", src, testutil.IDsOfNodes(naive), testutil.IDsOfNodes(vec))
+	}
+	var vals []string
+	for _, n := range vec {
+		vals = append(vals, n.Value())
+	}
+	return vals
+}
+
+func strEq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPaperIntroQuery(t *testing.T) {
+	// Q' = //broker[//stock/code/text() = "goog"]/name from §1.
+	got := evalCase(t, `//broker[//stock/code/text() = "GOOG"]/name`)
+	want := []string{"E*trade", "Bache", "CIBC"}
+	if !strEq(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestPaperQ1GoogNotYhoo(t *testing.T) {
+	// Q1 of §2.2: brokers trading GOOG but not YHOO.
+	got := evalCase(t, `//broker[//stock/code/text() = "GOOG" and not(//stock/code/text() = "YHOO")]/name`)
+	want := []string{"Bache", "CIBC"}
+	if !strEq(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestExample21Query(t *testing.T) {
+	// Example 2.1: names of brokers of US clients trading in NASDAQ.
+	got := evalCase(t, `client[country/text() = "US"]/broker[market/name/text() = "NASDAQ"]/name`)
+	want := []string{"E*trade", "Bache"}
+	if !strEq(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestRelativeVsAbsolute(t *testing.T) {
+	rel := evalCase(t, "client/name")
+	abs := evalCase(t, "/clientele/client/name")
+	if !strEq(rel, abs) {
+		t.Errorf("relative %v != absolute %v", rel, abs)
+	}
+	if len(rel) != 3 {
+		t.Errorf("clients = %v", rel)
+	}
+}
+
+func TestAbsoluteRootMatch(t *testing.T) {
+	got := evalCase(t, "/clientele")
+	if len(got) != 1 {
+		t.Errorf("root match = %v", got)
+	}
+	if got := evalCase(t, "/client"); len(got) != 0 {
+		t.Errorf("/client must not match below root, got %v", got)
+	}
+}
+
+func TestDescendantIncludesRootForAbsolute(t *testing.T) {
+	tr := testutil.PaperTree()
+	c := xpath.MustCompile("//clientele")
+	ids := EvalVector(tr, c)
+	if len(ids) != 1 || ids[0] != tr.Root.ID {
+		t.Errorf("//clientele = %v", ids)
+	}
+	// Relative descendant is strict: the root cannot match.
+	q := xpath.MustParse("//clientele")
+	nodes := EvalNaive(tr, q)
+	if len(nodes) != 1 {
+		t.Errorf("naive //clientele = %d", len(nodes))
+	}
+}
+
+func TestValComparisons(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{`//stock[buy/val() > 375]/code`, []string{"GOOG"}},          // 382 only
+		{`//stock[buy/val() >= 374]/code`, []string{"GOOG", "GOOG"}}, // 374, 382
+		{`//stock[qt/val() < 45]/code`, []string{"YHOO", "GOOG"}},    // qt 40, 40
+		{`//stock[qt/val() != 40]/code`, []string{"IBM", "GOOG", "GOOG"}},
+		{`//stock[buy/val() <= 33]/code`, []string{"YHOO"}},
+	}
+	for _, c := range cases {
+		got := evalCase(t, c.src)
+		if !strEq(got, c.want) {
+			t.Errorf("%s: got %v want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestValOnNonNumericIsFalse(t *testing.T) {
+	got := evalCase(t, `//stock[code/val() = 0]/code`)
+	if len(got) != 0 {
+		t.Errorf("non-numeric val() comparison must fail, got %v", got)
+	}
+}
+
+func TestWildcardSteps(t *testing.T) {
+	got := evalCase(t, `client/*/name`)
+	want := []string{"E*trade", "Bache", "CIBC"}
+	if !strEq(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	all := evalCase(t, `//market/*`)
+	if len(all) != 9 { // 4 name + 5 stock
+		t.Errorf("//market/* = %d nodes", len(all))
+	}
+}
+
+func TestBooleanBareQuery(t *testing.T) {
+	tr := testutil.PaperTree()
+	if !EvalBool(tr, xpath.MustCompile(`[//stock/code = "GOOG"]`)) {
+		t.Error("GOOG exists")
+	}
+	if EvalBool(tr, xpath.MustCompile(`[//stock/code = "MSFT"]`)) {
+		t.Error("MSFT does not exist")
+	}
+	if !EvalBool(tr, xpath.MustCompile(`[client/country = "Canada" and client/country = "US"]`)) {
+		t.Error("both countries exist")
+	}
+}
+
+func TestNestedQualifiers(t *testing.T) {
+	got := evalCase(t, `client[broker[market[name = "TSE"]]]/name`)
+	want := []string{"Lisa"}
+	if !strEq(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestNegationAndDisjunction(t *testing.T) {
+	got := evalCase(t, `client[country = "Canada" or broker/market/name = "NYSE"]/name`)
+	want := []string{"Anna", "Lisa"}
+	if !strEq(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	got = evalCase(t, `client[not(country = "US")]/name`)
+	want = []string{"Lisa"}
+	if !strEq(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestSelfStepQualifier(t *testing.T) {
+	got := evalCase(t, `client/.[country = "US"]/name`)
+	want := []string{"Anna", "Kim"}
+	if !strEq(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestDescendantInsideQualifier(t *testing.T) {
+	got := evalCase(t, `client[//code = "IBM"]/name`)
+	want := []string{"Anna"}
+	if !strEq(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestEmptyAnswer(t *testing.T) {
+	if got := evalCase(t, `client/nonexistent`); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDoubleDescendant(t *testing.T) {
+	got := evalCase(t, `//market//code`)
+	if len(got) != 5 {
+		t.Errorf("//market//code = %v", got)
+	}
+}
+
+func TestQualifierOnWildcardRoot(t *testing.T) {
+	// Bare Boolean with qualifier at root via relative self.
+	got := evalCase(t, `.[client]/client/name`)
+	if len(got) != 3 {
+		t.Errorf(".[client]/client/name = %v", got)
+	}
+}
+
+// Property: the two evaluators agree on random trees and random queries.
+func TestQuickNaiveVsVector(t *testing.T) {
+	f := func(treeSeed, querySeed int64) bool {
+		tr := testutil.RandomTree(treeSeed, 80)
+		src := testutil.RandomQuery(querySeed)
+		q, err := xpath.Parse(src)
+		if err != nil {
+			// Generator should only produce valid queries.
+			t.Fatalf("generated invalid query %q: %v", src, err)
+		}
+		c, err := xpath.CompileQuery(q, src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		naive := testutil.IDsOfNodes(EvalNaive(tr, q))
+		vec := EvalVector(tr, c)
+		if !testutil.EqualIDs(naive, vec) {
+			t.Logf("query %q tree seed %d: naive=%v vector=%v", src, treeSeed, naive, vec)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorOnLargeTree(t *testing.T) {
+	tr := testutil.RandomTree(42, 5000)
+	c := xpath.MustCompile(`//a[b/val() > 20]/c`)
+	q := xpath.MustParse(`//a[b/val() > 20]/c`)
+	if !testutil.EqualIDs(EvalVector(tr, c), testutil.IDsOfNodes(EvalNaive(tr, q))) {
+		t.Fatal("large-tree disagreement")
+	}
+}
+
+func BenchmarkEvalVector(b *testing.B) {
+	tr := testutil.RandomTree(7, 20000)
+	c := xpath.MustCompile(`//a[b = "x" and not(c)]/d`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EvalVector(tr, c)
+	}
+}
+
+func BenchmarkEvalNaive(b *testing.B) {
+	tr := testutil.RandomTree(7, 2000)
+	q := xpath.MustParse(`//a[b = "x" and not(c)]/d`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EvalNaive(tr, q)
+	}
+}
+
+var _ = xmltree.NoID // keep import if future cases drop it

@@ -1,0 +1,146 @@
+// Package centeval evaluates X queries over a centralized (unfragmented)
+// XML tree. It provides two independent evaluators:
+//
+//   - EvalNaive: direct set-semantics evaluation by structural recursion on
+//     the query. Simple enough to trust by inspection; quadratic in the
+//     worst case. It is the correctness oracle for every other engine in
+//     this repository.
+//
+//   - EvalVector: the efficient two-pass algorithm the paper cites as the
+//     best centralized strategy (Gottlob–Koch style, O(|T|·|Q|)): one
+//     bottom-up pass computing qualifier vectors and one top-down pass
+//     computing selection vectors. It instantiates exactly the recurrences
+//     used by the distributed algorithms, over the plain Boolean algebra —
+//     full evaluation as the special case of partial evaluation with no
+//     unknowns.
+package centeval
+
+import (
+	"sort"
+
+	"paxq/internal/xmltree"
+	"paxq/internal/xpath"
+)
+
+// EvalNaive evaluates q over t by direct set semantics and returns the
+// answer nodes sorted in document order.
+func EvalNaive(t *xmltree.Tree, q *xpath.Query) []*xmltree.Node {
+	var ctx []*xmltree.Node
+	steps := q.Steps
+	if q.Absolute {
+		if len(steps) == 0 {
+			return nil
+		}
+		ctx = applyFromDocument(t, steps[0])
+		steps = steps[1:]
+	} else {
+		ctx = []*xmltree.Node{t.Root}
+	}
+	ctx = applySteps(ctx, steps)
+	sort.Slice(ctx, func(i, j int) bool { return ctx[i].ID < ctx[j].ID })
+	return ctx
+}
+
+// applyFromDocument applies the first step of an absolute query from the
+// virtual document node: a child step can only select the root element; a
+// descendant step can select any element.
+func applyFromDocument(t *xmltree.Tree, s *xpath.Step) []*xmltree.Node {
+	var out []*xmltree.Node
+	consider := func(n *xmltree.Node) {
+		if s.Test.Matches(n.Label) && qualsHold(n, s.Quals) {
+			out = append(out, n)
+		}
+	}
+	switch s.Axis {
+	case xpath.AxisChild:
+		consider(t.Root)
+	case xpath.AxisDesc:
+		t.Walk(func(n *xmltree.Node) bool {
+			if n.IsElement() {
+				consider(n)
+			}
+			return true
+		})
+	default: // AxisSelf at the document node is rejected by the compiler;
+		// the oracle mirrors that by selecting nothing.
+	}
+	return out
+}
+
+// applySteps applies steps to the context set, deduplicating as it goes.
+func applySteps(ctx []*xmltree.Node, steps []*xpath.Step) []*xmltree.Node {
+	for _, s := range steps {
+		next := make([]*xmltree.Node, 0, len(ctx))
+		seen := make(map[*xmltree.Node]bool)
+		add := func(n *xmltree.Node) {
+			if !seen[n] && s.Test.Matches(n.Label) && qualsHold(n, s.Quals) {
+				seen[n] = true
+				next = append(next, n)
+			}
+		}
+		addSelf := func(n *xmltree.Node) {
+			if !seen[n] && qualsHold(n, s.Quals) {
+				seen[n] = true
+				next = append(next, n)
+			}
+		}
+		for _, v := range ctx {
+			switch s.Axis {
+			case xpath.AxisSelf:
+				addSelf(v)
+			case xpath.AxisChild:
+				v.ElementChildren(func(c *xmltree.Node) bool {
+					add(c)
+					return true
+				})
+			case xpath.AxisDesc:
+				walkProperDescendants(v, add)
+			}
+		}
+		ctx = next
+	}
+	return ctx
+}
+
+func walkProperDescendants(v *xmltree.Node, visit func(*xmltree.Node)) {
+	for _, c := range v.Children {
+		if c.Kind == xmltree.Element {
+			visit(c)
+			walkProperDescendants(c, visit)
+		}
+	}
+}
+
+func qualsHold(n *xmltree.Node, quals []xpath.Cond) bool {
+	for _, q := range quals {
+		if !condHolds(n, q) {
+			return false
+		}
+	}
+	return true
+}
+
+func condHolds(n *xmltree.Node, c xpath.Cond) bool {
+	switch c := c.(type) {
+	case *xpath.CondAnd:
+		return condHolds(n, c.X) && condHolds(n, c.Y)
+	case *xpath.CondOr:
+		return condHolds(n, c.X) || condHolds(n, c.Y)
+	case *xpath.CondNot:
+		return !condHolds(n, c.X)
+	case *xpath.CondPath:
+		return len(applySteps([]*xmltree.Node{n}, c.Path.Steps)) > 0
+	case *xpath.CondCmp:
+		targets := []*xmltree.Node{n}
+		if c.Path != nil {
+			targets = applySteps([]*xmltree.Node{n}, c.Path.Steps)
+		}
+		for _, u := range targets {
+			if xpath.EvalTermAt(u, c.Term, c.Op, c.Str, c.Num) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("centeval: unknown condition")
+}

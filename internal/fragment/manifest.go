@@ -1,0 +1,259 @@
+package fragment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"paxq/internal/xmltree"
+)
+
+// RefLabel is the element name used to stand for virtual nodes in fragment
+// files on disk: `<fragment-ref ref="K"/>`. The name is reserved; a
+// document that uses it as a real element cannot be round-tripped through
+// Save/Load.
+const RefLabel = "fragment-ref"
+
+// ManifestEntry describes one fragment in a saved fragmentation.
+type ManifestEntry struct {
+	ID         FragID   `json:"id"`
+	Parent     FragID   `json:"parent"` // NoFrag for the root fragment
+	File       string   `json:"file"`
+	RootLabel  string   `json:"rootLabel"`
+	Annotation []string `json:"annotation,omitempty"`
+	Children   []FragID `json:"children,omitempty"`
+}
+
+// Manifest indexes a fragmentation saved to a directory: the deployment
+// unit a paxsite server loads fragments from and a coordinator loads the
+// fragment-tree skeleton from.
+type Manifest struct {
+	Entries []ManifestEntry `json:"fragments"`
+}
+
+// ManifestName is the file name of the manifest within a save directory.
+const ManifestName = "manifest.json"
+
+// Save writes every fragment as an XML file plus a manifest.json into dir,
+// which is created if needed.
+func (ft *Fragmentation) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("fragment: save: %w", err)
+	}
+	var m Manifest
+	for _, f := range ft.Frags {
+		file := fmt.Sprintf("fragment-%d.xml", f.ID)
+		out, err := os.Create(filepath.Join(dir, file))
+		if err != nil {
+			return fmt.Errorf("fragment: save: %w", err)
+		}
+		err = xmltree.Serialize(out, exportTree(f))
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("fragment: save fragment %d: %w", f.ID, err)
+		}
+		m.Entries = append(m.Entries, ManifestEntry{
+			ID:         f.ID,
+			Parent:     f.Parent,
+			File:       file,
+			RootLabel:  f.Tree.Root.Label,
+			Annotation: f.Annotation,
+			Children:   append([]FragID(nil), ft.Children(f.ID)...),
+		})
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), data, 0o644)
+}
+
+// exportTree clones a fragment's tree with virtual nodes replaced by
+// fragment-ref elements.
+func exportTree(f *Fragment) *xmltree.Node {
+	var clone func(n *xmltree.Node) *xmltree.Node
+	clone = func(n *xmltree.Node) *xmltree.Node {
+		if k, ok := f.VirtualAt(n.ID); ok {
+			ref := xmltree.NewElement(RefLabel)
+			ref.SetAttr("ref", strconv.Itoa(int(k)))
+			return ref
+		}
+		c := &xmltree.Node{Kind: n.Kind, Label: n.Label, Data: n.Data, ID: xmltree.NoID}
+		if len(n.Attrs) > 0 {
+			c.Attrs = append([]xmltree.Attr(nil), n.Attrs...)
+		}
+		for _, ch := range n.Children {
+			c.Append(clone(ch))
+		}
+		return c
+	}
+	return clone(f.Tree.Root)
+}
+
+// LoadManifest reads a manifest.json.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fragment: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("fragment: parse manifest: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (m *Manifest) validate() error {
+	if len(m.Entries) == 0 {
+		return fmt.Errorf("fragment: manifest has no fragments")
+	}
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].ID < m.Entries[j].ID })
+	for i, e := range m.Entries {
+		if int(e.ID) != i {
+			return fmt.Errorf("fragment: manifest fragment IDs not dense at %d", e.ID)
+		}
+		if e.ID == RootFrag {
+			if e.Parent != NoFrag {
+				return fmt.Errorf("fragment: root fragment has parent %d", e.Parent)
+			}
+		} else if e.Parent < 0 || e.Parent >= e.ID {
+			return fmt.Errorf("fragment: fragment %d has invalid parent %d", e.ID, e.Parent)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of fragments in the manifest.
+func (m *Manifest) Len() int { return len(m.Entries) }
+
+// LoadFragment loads one fragment's tree from dir, converting fragment-ref
+// elements back to virtual nodes.
+func (m *Manifest) LoadFragment(dir string, id FragID) (*Fragment, error) {
+	if int(id) >= len(m.Entries) || id < 0 {
+		return nil, fmt.Errorf("fragment: no fragment %d in manifest", id)
+	}
+	e := m.Entries[id]
+	in, err := os.Open(filepath.Join(dir, e.File))
+	if err != nil {
+		return nil, fmt.Errorf("fragment: %w", err)
+	}
+	defer in.Close()
+	tree, err := xmltree.Parse(in)
+	if err != nil {
+		return nil, fmt.Errorf("fragment: parse %s: %w", e.File, err)
+	}
+	f := &Fragment{ID: id, Parent: e.Parent, Annotation: e.Annotation, virtuals: make(map[xmltree.NodeID]FragID)}
+	var convert func(n *xmltree.Node) error
+	convert = func(n *xmltree.Node) error {
+		if n.Kind == xmltree.Element && n.Label == RefLabel {
+			ref := -1
+			for _, a := range n.Attrs {
+				if a.Name == "ref" {
+					ref, err = strconv.Atoi(a.Value)
+					if err != nil {
+						return fmt.Errorf("fragment: %s: bad ref %q", e.File, a.Value)
+					}
+				}
+			}
+			if ref < 0 || ref >= len(m.Entries) {
+				return fmt.Errorf("fragment: %s: fragment-ref to unknown fragment %d", e.File, ref)
+			}
+			n.Label = VirtualLabel
+			n.Attrs = nil
+			f.virtuals[n.ID] = FragID(ref)
+			return nil
+		}
+		for _, c := range n.Children {
+			if err := convert(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := convert(tree.Root); err != nil {
+		return nil, err
+	}
+	f.Tree = tree
+	return f, nil
+}
+
+// Load reads the whole fragmentation back from dir.
+func Load(dir string) (*Fragmentation, error) {
+	m, err := LoadManifest(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	frags := make([]*Fragment, m.Len())
+	for i := range frags {
+		f, err := m.LoadFragment(dir, FragID(i))
+		if err != nil {
+			return nil, err
+		}
+		frags[i] = f
+	}
+	return assemble(frags)
+}
+
+// Skeleton builds a coordinator-side Fragmentation from the manifest alone:
+// each fragment tree is a placeholder (root element plus one virtual child
+// per sub-fragment), sufficient for relevance analysis, variable naming and
+// evalFT — the coordinator never touches fragment data.
+func (m *Manifest) Skeleton() (*Fragmentation, error) {
+	frags := make([]*Fragment, m.Len())
+	for i, e := range m.Entries {
+		root := xmltree.NewElement(e.RootLabel)
+		for range e.Children {
+			root.Append(xmltree.NewElement(VirtualLabel))
+		}
+		tree := xmltree.NewTree(root)
+		f := &Fragment{ID: e.ID, Parent: e.Parent, Annotation: e.Annotation, Tree: tree, virtuals: make(map[xmltree.NodeID]FragID)}
+		for j, child := range e.Children {
+			f.virtuals[root.Children[j].ID] = child
+		}
+		frags[i] = f
+	}
+	return assemble(frags)
+}
+
+// assemble wires a Fragmentation from loaded fragments, recomputing the
+// children index and validating parent/virtual consistency.
+func assemble(frags []*Fragment) (*Fragmentation, error) {
+	ft := &Fragmentation{Frags: frags, children: make([][]FragID, len(frags))}
+	for _, f := range frags {
+		for vid, child := range f.virtuals {
+			if int(child) >= len(frags) || child <= f.ID {
+				return nil, fmt.Errorf("fragment: fragment %d references invalid sub-fragment %d", f.ID, child)
+			}
+			cf := frags[child]
+			if cf.Parent != f.ID {
+				return nil, fmt.Errorf("fragment: fragment %d claims child %d whose parent is %d", f.ID, child, cf.Parent)
+			}
+			cf.ParentVirtual = vid
+			ft.children[f.ID] = append(ft.children[f.ID], child)
+		}
+	}
+	for id := range frags {
+		sort.Slice(ft.children[id], func(i, j int) bool { return ft.children[id][i] < ft.children[id][j] })
+	}
+	// Every non-root fragment must be referenced exactly once.
+	for _, f := range frags[1:] {
+		found := false
+		for _, c := range ft.children[f.Parent] {
+			if c == f.ID {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("fragment: fragment %d not referenced by its parent %d", f.ID, f.Parent)
+		}
+	}
+	return ft, nil
+}

@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"paxq/internal/pax"
+	"paxq/internal/xmark"
+)
+
+// BuildFT1Engine constructs the Experiment-1 deployment at one sweep
+// point: frags equal-size fragments of a constant cumulative dataset, one
+// site per fragment. Exported for the repository-level benchmarks.
+func BuildFT1Engine(cfg Config, frags int) (*pax.Engine, error) {
+	cfg = cfg.withDefaults()
+	ft, err := ft1(cfg, frags, cfg.paperMB(100), xmark.Calibrate())
+	if err != nil {
+		return nil, err
+	}
+	return engineFor(ft), nil
+}
+
+// BuildFT2Engine constructs the Experiment-2/3 deployment at one sweep
+// point: the ten-fragment FT2 layout at the given cumulative size in
+// paper-MB units. Exported for the repository-level benchmarks.
+func BuildFT2Engine(cfg Config, units float64) (*pax.Engine, error) {
+	cfg = cfg.withDefaults()
+	ft, err := buildFT2(cfg, units, xmark.Calibrate())
+	if err != nil {
+		return nil, err
+	}
+	return engineFor(ft), nil
+}

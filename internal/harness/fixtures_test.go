@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"testing"
+
+	"paxq/internal/pax"
+)
+
+func TestBuildFT1Engine(t *testing.T) {
+	eng, err := BuildFT1Engine(tinyConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(Q1, pax.Options{Algorithm: pax.PaX2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Error("Q1 must select persons on FT1")
+	}
+	if res.TotalFrags != 3 {
+		t.Errorf("fragments = %d want 3", res.TotalFrags)
+	}
+}
+
+func TestBuildFT2Engine(t *testing.T) {
+	eng, err := BuildFT2Engine(tinyConfig(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(Q3, pax.Options{Algorithm: pax.PaX2, Annotations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFrags != 10 {
+		t.Errorf("FT2 fragments = %d want 10", res.TotalFrags)
+	}
+	if res.RelevantFrags >= res.TotalFrags {
+		t.Errorf("Q3 with annotations should prune some of FT2, relevant=%d", res.RelevantFrags)
+	}
+	if len(res.Answers) == 0 {
+		t.Error("Q3 must select creditcards")
+	}
+}

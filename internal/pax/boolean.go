@@ -1,0 +1,76 @@
+package pax
+
+import (
+	"fmt"
+	"time"
+
+	"paxq/internal/boolexpr"
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+	"paxq/internal/parbox"
+	"paxq/internal/xpath"
+)
+
+// RunBoolean evaluates a Boolean query (a bare qualifier such as
+// "[//stock/code = 'GOOG']") with the distributed ParBoX protocol of
+// [Buneman et al., VLDB 2006], which the paper's Stage 1 extends: every
+// site is visited exactly once — the qualifier pass — and the coordinator
+// unifies the returned residual vectors to a single truth value. This is
+// the one-visit guarantee ParBoX offers and PaX3/PaX2 generalize.
+func (e *Engine) RunBoolean(query string, opts Options) (bool, *Result, error) {
+	c, err := xpath.Compile(query)
+	if err != nil {
+		return false, nil, err
+	}
+	if len(c.Sel) != 2 || c.Sel[1].Kind != xpath.SelStep || !c.Sel[1].Test.Wild {
+		return false, nil, fmt.Errorf("pax: %q is not a Boolean query; use a bare qualifier like %q", query, "[//a/b = 'x']")
+	}
+	e.tr.Metrics().Reset()
+	start := time.Now()
+
+	res := &Result{RelevantFrags: e.topo.FT.Len(), TotalFrags: e.topo.FT.Len()}
+	truth := true
+	if c.HasQualifiers() {
+		ft := e.topo.FT
+		vs := parbox.NewVarScheme(c, ft.Len())
+		qid := QueryID(e.qid.Add(1))
+		resps, err := e.stage(res, opts.Sequential, func(dist.SiteID) any {
+			return &QualStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len())}
+		})
+		if err != nil {
+			return false, nil, err
+		}
+		roots := make(map[fragment.FragID]parbox.RootVecs, ft.Len())
+		var rootSelQual []*boolexpr.Formula
+		for _, r := range resps {
+			qr := r.(*QualStageResp)
+			if err := decodeRoots(qr.Roots, roots); err != nil {
+				return false, nil, err
+			}
+			for _, rv := range qr.Roots {
+				if rv.Frag == fragment.RootFrag && rv.RootSelQual != nil {
+					rootSelQual, err = boolexpr.DecodeVec(rv.RootSelQual)
+					if err != nil {
+						return false, nil, err
+					}
+				}
+			}
+		}
+		if rootSelQual == nil {
+			return false, nil, fmt.Errorf("pax: root fragment did not report its qualifier value")
+		}
+		env, err := parbox.ResolveQualVars(roots, vs)
+		if err != nil {
+			return false, nil, err
+		}
+		truth = env.MustResolveConst(rootSelQual[1])
+		// Sites have no further stages coming for this query; their
+		// sessions expire through the eviction cap.
+	}
+	res.Wall = time.Since(start)
+	m := e.tr.Metrics()
+	res.TotalCompute = m.TotalCompute()
+	res.MaxVisits = m.MaxVisits()
+	res.BytesSent, res.BytesRecv = m.Bytes()
+	return truth, res, nil
+}

@@ -1,0 +1,545 @@
+package pax
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"paxq/internal/boolexpr"
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+	"paxq/internal/parbox"
+	"paxq/internal/xpath"
+)
+
+// Algorithm selects the evaluation strategy.
+type Algorithm int
+
+// Available algorithms.
+const (
+	PaX3 Algorithm = iota
+	PaX2
+	Naive
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case PaX3:
+		return "PaX3"
+	case PaX2:
+		return "PaX2"
+	case Naive:
+		return "NaiveCentralized"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options tune an evaluation.
+type Options struct {
+	Algorithm   Algorithm
+	Annotations bool // the §5 XA optimization
+	ShipXML     bool // ship serialized answer subtrees, not just values
+
+	// Sequential issues each stage's site calls one at a time instead of
+	// concurrently. Per-site computation times then do not overlap, so the
+	// ParallelCompute metric (max per-site computation per stage — the
+	// paper's parallel computation cost) is measured cleanly even on a
+	// single-core host. Wall time stops being meaningful as a parallel
+	// cost in this mode; use ParallelCompute.
+	Sequential bool
+}
+
+// Result reports the answer and the cost profile of one evaluation.
+type Result struct {
+	Answers []AnswerNode
+
+	Stages       int             // coordinator→sites stage rounds executed
+	StageWall    []time.Duration // wall time of each stage
+	StageBytes   []int64         // wire bytes (both directions) per stage
+	Wall         time.Duration   // total wall time at the coordinator
+	TotalCompute time.Duration   // Σ per-site computation (total cost)
+	// ParallelCompute is the paper's parallel computation cost: the sum
+	// over stages of the maximum per-site computation in that stage — the
+	// perceived evaluation time on a cluster with one machine per site.
+	// Measured cleanly when Options.Sequential is set.
+	ParallelCompute time.Duration
+	MaxVisits       int   // max per-site visits (≤3 PaX3, ≤2 PaX2)
+	BytesSent       int64 // coordinator → sites
+	BytesRecv       int64 // sites → coordinator
+	RelevantFrags   int   // fragments that participated
+	TotalFrags      int
+}
+
+// Engine is the coordinator (the querying site S_Q of the paper).
+type Engine struct {
+	topo *Topology
+	tr   dist.Transport
+	qid  atomic.Uint64
+}
+
+// NewEngine creates a coordinator over a topology and a transport.
+func NewEngine(topo *Topology, tr dist.Transport) *Engine {
+	return &Engine{topo: topo, tr: tr}
+}
+
+// Run evaluates query under the given options. Concurrent Runs on one
+// Engine are safe algorithmically but share the transport's metric
+// counters; run sequentially when cost profiles matter.
+func (e *Engine) Run(query string, opts Options) (*Result, error) {
+	c, err := xpath.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	e.tr.Metrics().Reset()
+	start := time.Now()
+	var res *Result
+	switch opts.Algorithm {
+	case PaX3:
+		res, err = e.runPaX3(query, c, opts)
+	case PaX2:
+		res, err = e.runPaX2(query, c, opts)
+	case Naive:
+		res, err = e.runNaive(c, opts)
+	default:
+		return nil, fmt.Errorf("pax: unknown algorithm %v", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	m := e.tr.Metrics()
+	res.TotalCompute = m.TotalCompute()
+	res.MaxVisits = m.MaxVisits()
+	res.BytesSent, res.BytesRecv = m.Bytes()
+	res.TotalFrags = e.topo.FT.Len()
+	sortAnswers(res.Answers)
+	return res, nil
+}
+
+func sortAnswers(ans []AnswerNode) {
+	sort.Slice(ans, func(i, j int) bool {
+		if ans[i].Frag != ans[j].Frag {
+			return ans[i].Frag < ans[j].Frag
+		}
+		return ans[i].Node < ans[j].Node
+	})
+}
+
+// relevance computes the participating fragments under the options.
+func (e *Engine) relevance(c *xpath.Compiled, opts Options) *Relevance {
+	if opts.Annotations {
+		return AnalyzeRelevance(e.topo.FT, c)
+	}
+	return allRelevant(e.topo.FT)
+}
+
+// relevantFragsBySite groups the relevant fragments by hosting site.
+func (e *Engine) relevantFragsBySite(rel *Relevance) map[dist.SiteID][]fragment.FragID {
+	out := make(map[dist.SiteID][]fragment.FragID)
+	for i, ok := range rel.Relevant {
+		if !ok {
+			continue
+		}
+		fid := fragment.FragID(i)
+		site := e.topo.SiteOf[fid]
+		out[site] = append(out[site], fid)
+	}
+	return out
+}
+
+// stage runs one round against the sites with non-nil requests — in
+// parallel normally, one at a time in Sequential mode — and records its
+// wall time plus the stage's parallel computation cost (the maximum
+// per-site computation, §3.4) in res.
+func (e *Engine) stage(res *Result, seq bool, mk func(dist.SiteID) any) (map[dist.SiteID]any, error) {
+	m := e.tr.Metrics()
+	sites := e.topo.Sites()
+	before := make(map[dist.SiteID]time.Duration, len(sites))
+	for _, s := range sites {
+		before[s] = m.ComputeAt(s)
+	}
+	sent0, recv0 := m.Bytes()
+	t0 := time.Now()
+	var resps map[dist.SiteID]any
+	var err error
+	if seq {
+		resps = make(map[dist.SiteID]any)
+		for _, id := range sites {
+			req := mk(id)
+			if req == nil {
+				continue
+			}
+			r, cerr := e.tr.Call(id, req)
+			if cerr != nil {
+				return nil, fmt.Errorf("pax: site %d: %w", id, cerr)
+			}
+			resps[id] = r
+		}
+	} else {
+		resps, err = dist.Broadcast(e.tr, sites, mk)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var maxCompute time.Duration
+	for _, s := range sites {
+		if d := m.ComputeAt(s) - before[s]; d > maxCompute {
+			maxCompute = d
+		}
+	}
+	res.ParallelCompute += maxCompute
+	res.Stages++
+	res.StageWall = append(res.StageWall, time.Since(t0))
+	sent1, recv1 := m.Bytes()
+	res.StageBytes = append(res.StageBytes, (sent1-sent0)+(recv1-recv0))
+	return resps, nil
+}
+
+// decodeRoots collects root vectors from stage responses.
+func decodeRoots(wire []WireRootVecs, into map[fragment.FragID]parbox.RootVecs) error {
+	for _, rv := range wire {
+		qv, err := boolexpr.DecodeVec(rv.QV)
+		if err != nil {
+			return fmt.Errorf("pax: fragment %d QV: %w", rv.Frag, err)
+		}
+		qdv, err := boolexpr.DecodeVec(rv.QDV)
+		if err != nil {
+			return fmt.Errorf("pax: fragment %d QDV: %w", rv.Frag, err)
+		}
+		into[rv.Frag] = parbox.RootVecs{QV: qv, QDV: qdv}
+	}
+	return nil
+}
+
+// groundQualsFor extracts, for each fragment in frags, the ground qualifier
+// values of its sub-fragments from the unification environment.
+func groundQualsFor(env *boolexpr.Env, vs parbox.VarScheme, ft *fragment.Fragmentation, frags []fragment.FragID) []WireBoolVals {
+	var out []WireBoolVals
+	seen := make(map[fragment.FragID]bool)
+	for _, fid := range frags {
+		for _, child := range ft.Frag(fid).Virtuals() {
+			if seen[child] {
+				continue
+			}
+			seen[child] = true
+			v := WireBoolVals{Frag: child, QV: make([]bool, vs.NumPreds), QDV: make([]bool, vs.NumPreds)}
+			for p := 0; p < vs.NumPreds; p++ {
+				v.QV[p] = env.MustResolveConst(boolexpr.V(vs.QV(child, p)))
+				v.QDV[p] = env.MustResolveConst(boolexpr.V(vs.QDV(child, p)))
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// resolveContexts performs the top-down half of Procedure evalFT: walk the
+// fragment tree in ascending fragment order, grounding each sub-fragment's
+// z variables from the context vector its parent fragment reported.
+// Returns the ground init vector per fragment that has one.
+func resolveContexts(env *boolexpr.Env, vs parbox.VarScheme, contexts []WireContext) (map[fragment.FragID][]bool, error) {
+	decoded := make(map[fragment.FragID][]*boolexpr.Formula, len(contexts))
+	for _, ctx := range contexts {
+		sv, err := boolexpr.DecodeVec(ctx.SV)
+		if err != nil {
+			return nil, fmt.Errorf("pax: context for fragment %d: %w", ctx.Frag, err)
+		}
+		decoded[ctx.Frag] = sv
+	}
+	order := make([]fragment.FragID, 0, len(decoded))
+	for fid := range decoded {
+		order = append(order, fid)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make(map[fragment.FragID][]bool, len(order))
+	for _, fid := range order {
+		sv := decoded[fid]
+		ground := make([]bool, len(sv))
+		for i, f := range sv {
+			r := env.Resolve(f)
+			val, ok := r.IsConst()
+			if !ok {
+				return nil, fmt.Errorf("pax: context entry %d of fragment %d not ground: %v", i, fid, r)
+			}
+			ground[i] = val
+			env.BindConst(vs.SV(fid, i), val)
+		}
+		out[fid] = ground
+	}
+	return out, nil
+}
+
+// runPaX3 is Procedure PaX3 of Fig. 4(a).
+func (e *Engine) runPaX3(query string, c *xpath.Compiled, opts Options) (*Result, error) {
+	res := &Result{}
+	ft := e.topo.FT
+	vs := parbox.NewVarScheme(c, ft.Len())
+	rel := e.relevance(c, opts)
+	res.RelevantFrags = rel.NumRelevant()
+	if res.RelevantFrags == 0 {
+		return res, nil // nothing can match anywhere
+	}
+	relBySite := e.relevantFragsBySite(rel)
+	hasQual := c.HasQualifiers()
+	qid := QueryID(e.qid.Add(1))
+
+	// Stage 1: qualifier evaluation over ALL fragments (qualifier data may
+	// live anywhere), skipped entirely for qualifier-free queries.
+	var env *boolexpr.Env
+	if hasQual {
+		resps, err := e.stage(res, opts.Sequential, func(dist.SiteID) any {
+			return &QualStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len())}
+		})
+		if err != nil {
+			return nil, err
+		}
+		roots := make(map[fragment.FragID]parbox.RootVecs, ft.Len())
+		for _, r := range resps {
+			if err := decodeRoots(r.(*QualStageResp).Roots, roots); err != nil {
+				return nil, err
+			}
+		}
+		env, err = parbox.ResolveQualVars(roots, vs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		env = boolexpr.NewEnv()
+	}
+
+	// Stage 2: selection-path evaluation over the relevant fragments.
+	var inits []WireInit
+	if rel.Exact && opts.Annotations {
+		for i, ok := range rel.Relevant {
+			if ok {
+				inits = append(inits, WireInit{Frag: fragment.FragID(i), SV: rel.Inits[i]})
+			}
+		}
+	}
+	resps, err := e.stage(res, opts.Sequential, func(site dist.SiteID) any {
+		frags := relBySite[site]
+		if len(frags) == 0 {
+			return nil
+		}
+		req := &SelStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len()), Frags: frags, ShipXML: opts.ShipXML}
+		if hasQual {
+			req.VirtualQuals = groundQualsFor(env, vs, ft, frags)
+		}
+		for _, in := range inits {
+			if e.topo.SiteOf[in.Frag] == site {
+				req.Inits = append(req.Inits, in)
+			}
+		}
+		return req
+	})
+	if err != nil {
+		return nil, err
+	}
+	var contexts []WireContext
+	candFrags := make(map[fragment.FragID]bool)
+	for _, r := range resps {
+		sr := r.(*SelStageResp)
+		res.Answers = append(res.Answers, sr.Answers...)
+		contexts = append(contexts, sr.Contexts...)
+		for _, fid := range sr.Candidates {
+			candFrags[fid] = true
+		}
+	}
+	if len(candFrags) == 0 {
+		return res, nil // Stage 3 unnecessary (e.g. XA with no qualifiers)
+	}
+
+	// evalFT, top-down half: ground the z variables.
+	ground, err := resolveContexts(env, vs, contexts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: resolve candidates where they live.
+	resps, err = e.stage(res, opts.Sequential, func(site dist.SiteID) any {
+		var req *AnsStageReq
+		for _, fid := range relBySite[site] {
+			if !candFrags[fid] {
+				continue
+			}
+			sv, ok := ground[fid]
+			if !ok {
+				// A candidate can only exist in a fragment seeded with z
+				// variables, whose parent necessarily reported a context.
+				panic(fmt.Sprintf("pax: no ground context for candidate fragment %d", fid))
+			}
+			if req == nil {
+				req = &AnsStageReq{QID: qid}
+			}
+			req.Inits = append(req.Inits, WireInit{Frag: fid, SV: sv})
+		}
+		if req == nil {
+			return nil
+		}
+		return req
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range resps {
+		res.Answers = append(res.Answers, r.(*AnsStageResp).Answers...)
+	}
+	return res, nil
+}
+
+// runPaX2 is Procedure PaX2 of Fig. 5.
+func (e *Engine) runPaX2(query string, c *xpath.Compiled, opts Options) (*Result, error) {
+	res := &Result{}
+	ft := e.topo.FT
+	vs := parbox.NewVarScheme(c, ft.Len())
+	rel := e.relevance(c, opts)
+	res.RelevantFrags = rel.NumRelevant()
+	if res.RelevantFrags == 0 {
+		return res, nil
+	}
+	relBySite := e.relevantFragsBySite(rel)
+	hasQual := c.HasQualifiers()
+	qid := QueryID(e.qid.Add(1))
+
+	// Stage 1: combined traversal over the relevant fragments only (§5:
+	// PaX2 uses the annotations to decide where the combined pass runs).
+	var inits []WireInit
+	if rel.Exact && opts.Annotations {
+		for i, ok := range rel.Relevant {
+			if ok {
+				inits = append(inits, WireInit{Frag: fragment.FragID(i), SV: rel.Inits[i]})
+			}
+		}
+	}
+	resps, err := e.stage(res, opts.Sequential, func(site dist.SiteID) any {
+		frags := relBySite[site]
+		if len(frags) == 0 {
+			return nil
+		}
+		req := &CombinedStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len()), Frags: frags, ShipXML: opts.ShipXML}
+		for _, in := range inits {
+			if e.topo.SiteOf[in.Frag] == site {
+				req.Inits = append(req.Inits, in)
+			}
+		}
+		return req
+	})
+	if err != nil {
+		return nil, err
+	}
+	roots := make(map[fragment.FragID]parbox.RootVecs, ft.Len())
+	var contexts []WireContext
+	candFrags := make(map[fragment.FragID]bool)
+	for _, r := range resps {
+		cr := r.(*CombinedStageResp)
+		if err := decodeRoots(cr.Roots, roots); err != nil {
+			return nil, err
+		}
+		res.Answers = append(res.Answers, cr.Answers...)
+		contexts = append(contexts, cr.Contexts...)
+		for _, fid := range cr.Candidates {
+			candFrags[fid] = true
+		}
+	}
+	if len(candFrags) == 0 {
+		return res, nil
+	}
+
+	// evalFT: bottom-up qualifier unification over the fragments that
+	// participated, then top-down z grounding. With pruning, absent
+	// fragments' variables may appear in non-live entries; resolution is
+	// lenient there and strict where values are consumed.
+	env := boolexpr.NewEnv()
+	for id := fragment.FragID(ft.Len() - 1); id >= 0; id-- {
+		rv, ok := roots[id]
+		if !ok {
+			continue // pruned fragment: its variables are never consumed
+		}
+		for p := 0; p < vs.NumPreds; p++ {
+			env.Bind(vs.QV(id, p), env.Resolve(rv.QV[p]))
+			env.Bind(vs.QDV(id, p), env.Resolve(rv.QDV[p]))
+		}
+	}
+	ground, err := resolveContexts(env, vs, contexts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: resolve candidates; PaX2 candidates may mention both z and
+	// sub-fragment qualifier variables. The root fragment ran with the
+	// concrete document vector, so its candidates (which arise from
+	// qualifiers awaiting sub-fragment data) get that vector as their init.
+	docBools := xpath.DocSelVector[bool](xpath.BoolAlg{}, c)
+	resps, err = e.stage(res, opts.Sequential, func(site dist.SiteID) any {
+		var req *AnsStageReq
+		var frags []fragment.FragID
+		for _, fid := range relBySite[site] {
+			if !candFrags[fid] {
+				continue
+			}
+			sv, ok := ground[fid]
+			if !ok {
+				if fid != fragment.RootFrag {
+					panic(fmt.Sprintf("pax: no ground context for candidate fragment %d", fid))
+				}
+				sv = docBools
+			}
+			if req == nil {
+				req = &AnsStageReq{QID: qid}
+			}
+			req.Inits = append(req.Inits, WireInit{Frag: fid, SV: sv})
+			frags = append(frags, fid)
+		}
+		if req == nil {
+			return nil
+		}
+		if hasQual {
+			req.Quals = groundQualsForPresent(env, vs, ft, frags, roots)
+		}
+		return req
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range resps {
+		res.Answers = append(res.Answers, r.(*AnsStageResp).Answers...)
+	}
+	return res, nil
+}
+
+// groundQualsForPresent is groundQualsFor restricted to sub-fragments that
+// actually participated (pruned ones have no bindings and are never needed
+// by live candidate formulas).
+func groundQualsForPresent(env *boolexpr.Env, vs parbox.VarScheme, ft *fragment.Fragmentation, frags []fragment.FragID, roots map[fragment.FragID]parbox.RootVecs) []WireBoolVals {
+	var out []WireBoolVals
+	seen := make(map[fragment.FragID]bool)
+	for _, fid := range frags {
+		for _, child := range ft.Frag(fid).Virtuals() {
+			if seen[child] {
+				continue
+			}
+			seen[child] = true
+			if _, ok := roots[child]; !ok {
+				continue
+			}
+			v := WireBoolVals{
+				Frag:  child,
+				QV:    make([]bool, vs.NumPreds),
+				QDV:   make([]bool, vs.NumPreds),
+				Known: make([]bool, vs.NumPreds),
+			}
+			for p := 0; p < vs.NumPreds; p++ {
+				qv := env.Resolve(boolexpr.V(vs.QV(child, p)))
+				qdv := env.Resolve(boolexpr.V(vs.QDV(child, p)))
+				bv, ok1 := qv.IsConst()
+				bd, ok2 := qdv.IsConst()
+				if ok1 && ok2 {
+					v.QV[p], v.QDV[p], v.Known[p] = bv, bd, true
+				}
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+// Package pax implements the paper's distributed evaluation algorithms for
+// data-selecting XPath queries over a fragmented, distributed XML tree:
+//
+//   - PaX3 (§3): three stages — qualifier evaluation (extended ParBoX),
+//     selection-path evaluation, candidate resolution — visiting each site
+//     at most three times.
+//   - PaX2 (§4): qualifier and selection evaluation combined into a single
+//     traversal per fragment with lazily-bound qualifier variables,
+//     visiting each site at most twice.
+//   - The §5 optimization: XPath-annotated fragment trees used to prune
+//     irrelevant fragments and, for qualifier-free queries, to seed
+//     traversal stacks with concrete values so the final visit is skipped.
+//   - NaiveCentralized (§3): ship every fragment to the coordinator,
+//     reassemble, evaluate centrally — the baseline whose network cost the
+//     partial-evaluation algorithms avoid.
+//
+// The coordinator side (Engine) talks to sites purely through
+// dist.Transport; the site side (Site) is a dist.Handler, so the same
+// algorithm code runs in-process or over TCP.
+package pax
+
+import (
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+	"paxq/internal/xmltree"
+)
+
+// QueryID correlates the stage requests of one distributed evaluation.
+type QueryID uint64
+
+// WireVec is a vector of wire-encoded residual formulas (boolexpr.Encode).
+type WireVec [][]byte
+
+// WireRootVecs carries the qualifier partial answer of one fragment: the
+// QV/QDV rows of its root (the triplet of §3.1, with QCV kept local).
+// RootSelQual additionally carries the root node's per-selection-entry
+// qualifier values; the coordinator consumes it for the root fragment when
+// answering Boolean queries with the one-visit ParBoX protocol.
+type WireRootVecs struct {
+	Frag        fragment.FragID
+	QV          WireVec
+	QDV         WireVec
+	RootSelQual WireVec
+}
+
+// WireContext carries the SVect context computed for one virtual node: the
+// stack-top vector at the virtual node, which seeds the sub-fragment's
+// traversal (Example 3.4).
+type WireContext struct {
+	Frag fragment.FragID // the sub-fragment the virtual node stands for
+	SV   WireVec
+}
+
+// WireBoolVals carries the ground qualifier values of a sub-fragment's root
+// back to the site holding the parent fragment (beginning of Stage 2,
+// Fig. 4(a) lines 6-8).
+type WireBoolVals struct {
+	Frag fragment.FragID
+	QV   []bool
+	QDV  []bool
+	// Known, when non-nil, masks entries whose values are meaningful. With
+	// XA pruning a sub-fragment entry may remain unresolved when it depends
+	// on a pruned fragment; such entries are provably never consumed by
+	// live formulas and are skipped.
+	Known []bool
+}
+
+// WireInit carries the ground stack-initialization vector for a fragment
+// (Stage 3, Fig. 4(a) lines 15-16), or the concrete XA-derived vector of §5.
+type WireInit struct {
+	Frag fragment.FragID
+	SV   []bool
+}
+
+// AnswerNode identifies one element of the query answer. Value carries the
+// node's string value and XML optionally its serialized subtree, so the
+// bytes shipped grow with the answer — the |ans| term of the paper's
+// communication cost.
+type AnswerNode struct {
+	Frag  fragment.FragID
+	Node  xmltree.NodeID
+	Label string
+	Value string
+	XML   string
+}
+
+// QualStageReq asks a site to run the bottom-up qualifier pass (PaX3
+// Stage 1) over its fragments.
+type QualStageReq struct {
+	QID      QueryID
+	Query    string
+	NumFrags int32
+}
+
+// QualStageResp returns one root-vector pair per hosted fragment.
+type QualStageResp struct {
+	Roots []WireRootVecs
+}
+
+// SelStageReq asks a site to run the top-down selection pass (PaX3
+// Stage 2) over the listed fragments. VirtualQuals grounds the qualifier
+// variables of the fragments' virtual nodes; Inits, when present, supplies
+// concrete stack vectors (XA optimization) — otherwise non-root fragments
+// seed their stacks with z variables.
+type SelStageReq struct {
+	QID          QueryID
+	Query        string
+	NumFrags     int32
+	Frags        []fragment.FragID
+	VirtualQuals []WireBoolVals
+	Inits        []WireInit
+	ShipXML      bool
+}
+
+// SelStageResp returns per-virtual-node contexts, the answers already known
+// to be definite, and the fragments that retained candidate answers and
+// therefore need Stage 3.
+type SelStageResp struct {
+	Contexts   []WireContext
+	Answers    []AnswerNode
+	Candidates []fragment.FragID
+}
+
+// CombinedStageReq asks a site to run PaX2's single combined traversal
+// (Fig. 5 Stage 1) over the listed fragments.
+type CombinedStageReq struct {
+	QID      QueryID
+	Query    string
+	NumFrags int32
+	Frags    []fragment.FragID
+	Inits    []WireInit
+	ShipXML  bool
+}
+
+// CombinedStageResp returns the qualifier root vectors and selection
+// contexts together, plus definite answers and candidate-bearing fragments.
+type CombinedStageResp struct {
+	Roots      []WireRootVecs
+	Contexts   []WireContext
+	Answers    []AnswerNode
+	Candidates []fragment.FragID
+}
+
+// AnsStageReq resolves retained candidates (PaX3 Stage 3 / PaX2 Stage 2):
+// Inits grounds the z variables, Quals the sub-fragment qualifier variables
+// that PaX2 candidates may still mention.
+type AnsStageReq struct {
+	QID   QueryID
+	Inits []WireInit
+	Quals []WireBoolVals
+}
+
+// AnsStageResp returns the remaining answers.
+type AnsStageResp struct {
+	Answers []AnswerNode
+}
+
+// FetchReq asks a site to ship its fragments wholesale (NaiveCentralized).
+type FetchReq struct{}
+
+// FetchResp carries entire fragments over the wire.
+type FetchResp struct {
+	Frags []WireFragment
+}
+
+// WireFragment is a whole fragment in wire form.
+type WireFragment struct {
+	ID   fragment.FragID
+	Root WireNode
+}
+
+// WireNode is a gob-friendly tree node; virtual nodes carry the
+// sub-fragment ID they stand for.
+type WireNode struct {
+	Kind     uint8
+	Label    string
+	Data     string
+	Virtual  bool
+	Frag     fragment.FragID
+	Children []WireNode
+}
+
+func init() {
+	dist.Register(&QualStageReq{})
+	dist.Register(&QualStageResp{})
+	dist.Register(&SelStageReq{})
+	dist.Register(&SelStageResp{})
+	dist.Register(&CombinedStageReq{})
+	dist.Register(&CombinedStageResp{})
+	dist.Register(&AnsStageReq{})
+	dist.Register(&AnsStageResp{})
+	dist.Register(&FetchReq{})
+	dist.Register(&FetchResp{})
+}
+
+// toWireNode converts a fragment subtree to wire form.
+func toWireNode(f *fragment.Fragment, n *xmltree.Node) WireNode {
+	w := WireNode{Kind: uint8(n.Kind), Label: n.Label, Data: n.Data}
+	if k, ok := f.VirtualAt(n.ID); ok {
+		w.Virtual = true
+		w.Frag = k
+		w.Label = ""
+		return w
+	}
+	for _, c := range n.Children {
+		w.Children = append(w.Children, toWireNode(f, c))
+	}
+	return w
+}

@@ -1,0 +1,83 @@
+package pax
+
+import (
+	"fmt"
+
+	"paxq/internal/centeval"
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+	"paxq/internal/xmltree"
+	"paxq/internal/xpath"
+)
+
+// runNaive implements the NaiveCentralized baseline of §3: fetch every
+// fragment to the coordinator, reassemble the tree, and evaluate centrally.
+// Its network traffic is proportional to |T| — the cost the partial
+// evaluation algorithms exist to avoid — and is visible directly in the
+// Result's byte counters.
+func (e *Engine) runNaive(c *xpath.Compiled, opts Options) (*Result, error) {
+	res := &Result{RelevantFrags: e.topo.FT.Len()}
+	resps, err := e.stage(res, opts.Sequential, func(dist.SiteID) any { return &FetchReq{} })
+	if err != nil {
+		return nil, err
+	}
+	frags := make(map[fragment.FragID]*WireFragment)
+	for _, r := range resps {
+		fr := r.(*FetchResp)
+		for i := range fr.Frags {
+			frags[fr.Frags[i].ID] = &fr.Frags[i]
+		}
+	}
+	if len(frags) != e.topo.FT.Len() {
+		return nil, fmt.Errorf("pax: naive fetch returned %d fragments, want %d", len(frags), e.topo.FT.Len())
+	}
+	root, ok := frags[fragment.RootFrag]
+	if !ok {
+		return nil, fmt.Errorf("pax: naive fetch missing root fragment")
+	}
+	// Reassemble, tracking which fragment and local node each spliced node
+	// came from so answers carry the same identities as PaX answers.
+	type origin struct {
+		frag fragment.FragID
+		node xmltree.NodeID
+	}
+	var origins []origin
+	var splice func(fid fragment.FragID, w *WireNode, local *xmltree.NodeID) (*xmltree.Node, error)
+	splice = func(fid fragment.FragID, w *WireNode, local *xmltree.NodeID) (*xmltree.Node, error) {
+		if w.Virtual {
+			*local++ // the virtual node occupies one local ID
+			child, ok := frags[w.Frag]
+			if !ok {
+				return nil, fmt.Errorf("pax: naive fetch missing fragment %d", w.Frag)
+			}
+			var childLocal xmltree.NodeID
+			return splice(w.Frag, &child.Root, &childLocal)
+		}
+		n := &xmltree.Node{Kind: xmltree.NodeKind(w.Kind), Label: w.Label, Data: w.Data, ID: xmltree.NoID}
+		origins = append(origins, origin{frag: fid, node: *local})
+		*local++
+		for i := range w.Children {
+			c, err := splice(fid, &w.Children[i], local)
+			if err != nil {
+				return nil, err
+			}
+			n.Append(c)
+		}
+		return n, nil
+	}
+	var rootLocal xmltree.NodeID
+	rootNode, err := splice(fragment.RootFrag, &root.Root, &rootLocal)
+	if err != nil {
+		return nil, err
+	}
+	tree := xmltree.NewTree(rootNode)
+	if len(origins) != tree.Size() {
+		return nil, fmt.Errorf("pax: naive reassembly inconsistent: %d origins for %d nodes", len(origins), tree.Size())
+	}
+	for _, id := range centeval.EvalVector(tree, c) {
+		n := tree.Node(id)
+		o := origins[id]
+		res.Answers = append(res.Answers, AnswerNode{Frag: o.frag, Node: o.node, Label: n.Label, Value: n.Value()})
+	}
+	return res, nil
+}

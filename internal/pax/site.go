@@ -1,0 +1,324 @@
+package pax
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paxq/internal/boolexpr"
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+	"paxq/internal/parbox"
+	"paxq/internal/xmltree"
+	"paxq/internal/xpath"
+)
+
+// Site is the site-side engine: it hosts one or more fragments and serves
+// the stage requests of PaX3, PaX2 and NaiveCentralized. A Site is a
+// dist.Handler factory, so the same instance can back the in-process or the
+// TCP transport.
+type Site struct {
+	id    dist.SiteID
+	frags map[fragment.FragID]*fragment.Fragment
+
+	mu       sync.Mutex
+	sessions map[QueryID]*session
+}
+
+// session is the per-query state a site retains between visits.
+type session struct {
+	c  *xpath.Compiled
+	vs parbox.VarScheme
+	// qual holds Stage-1 state per fragment until the selection stage
+	// consumes it.
+	qual map[fragment.FragID]*parbox.FragQual
+	// cands holds candidate answers per fragment until the final stage.
+	cands map[fragment.FragID][]candidate
+	// shipXML records the answer-shipping mode for the final stage.
+	shipXML bool
+}
+
+// maxSessions bounds retained per-query state; evaluations that never reach
+// their final stage (aborted coordinators) are evicted oldest-first.
+const maxSessions = 64
+
+// NewSite creates a site hosting the given fragments.
+func NewSite(id dist.SiteID, frags []*fragment.Fragment) *Site {
+	s := &Site{id: id, frags: make(map[fragment.FragID]*fragment.Fragment, len(frags)), sessions: make(map[QueryID]*session)}
+	for _, f := range frags {
+		s.frags[f.ID] = f
+	}
+	return s
+}
+
+// ID returns the site's identifier.
+func (s *Site) ID() dist.SiteID { return s.id }
+
+// FragIDs returns the IDs of the hosted fragments, ascending.
+func (s *Site) FragIDs() []fragment.FragID {
+	out := make([]fragment.FragID, 0, len(s.frags))
+	for id := range s.frags {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Handler returns the dist.Handler serving this site.
+func (s *Site) Handler() dist.Handler {
+	return func(req any) (any, error) {
+		switch r := req.(type) {
+		case *QualStageReq:
+			return s.handleQual(r)
+		case *SelStageReq:
+			return s.handleSel(r)
+		case *CombinedStageReq:
+			return s.handleCombined(r)
+		case *AnsStageReq:
+			return s.handleCollect(r)
+		case *FetchReq:
+			return s.handleFetch()
+		}
+		return nil, fmt.Errorf("pax: site %d: unknown request type %T", s.id, req)
+	}
+}
+
+func (s *Site) getSession(qid QueryID, query string, numFrags int32) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[qid]; ok {
+		return sess, nil
+	}
+	if query == "" {
+		return nil, fmt.Errorf("pax: site %d: no session for query %d", s.id, qid)
+	}
+	c, err := xpath.Compile(query)
+	if err != nil {
+		return nil, fmt.Errorf("pax: site %d: %w", s.id, err)
+	}
+	sess := &session{
+		c:     c,
+		vs:    parbox.NewVarScheme(c, int(numFrags)),
+		qual:  make(map[fragment.FragID]*parbox.FragQual),
+		cands: make(map[fragment.FragID][]candidate),
+	}
+	if len(s.sessions) >= maxSessions {
+		var oldest QueryID
+		first := true
+		for id := range s.sessions {
+			if first || id < oldest {
+				oldest, first = id, false
+			}
+		}
+		delete(s.sessions, oldest)
+	}
+	s.sessions[qid] = sess
+	return sess, nil
+}
+
+func (s *Site) dropSessionIfDone(qid QueryID, sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(sess.cands) == 0 {
+		delete(s.sessions, qid)
+	}
+}
+
+// handleQual runs PaX3 Stage 1 over every hosted fragment.
+func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
+	sess, err := s.getSession(req.QID, req.Query, req.NumFrags)
+	if err != nil {
+		return nil, err
+	}
+	resp := &QualStageResp{}
+	for _, fid := range s.FragIDs() {
+		f := s.frags[fid]
+		fq := parbox.EvalQualFragment(f, sess.c, sess.vs)
+		sess.qual[fid] = fq
+		rv := WireRootVecs{
+			Frag: fid,
+			QV:   boolexpr.EncodeVec(fq.Root.QV),
+			QDV:  boolexpr.EncodeVec(fq.Root.QDV),
+		}
+		// The root fragment also reports its root node's selection-entry
+		// qualifier values, enabling the one-visit ParBoX protocol for
+		// Boolean queries.
+		if fid == fragment.RootFrag && fq.SelQual != nil {
+			sq := fq.SelQual[f.Tree.Root.ID]
+			enc := make(WireVec, len(sq))
+			for i, fm := range sq {
+				if fm == nil {
+					fm = boolexpr.True()
+				}
+				enc[i] = boolexpr.Encode(fm)
+			}
+			rv.RootSelQual = enc
+		}
+		resp.Roots = append(resp.Roots, rv)
+	}
+	return resp, nil
+}
+
+// virtualEnv grounds the sub-fragment qualifier variables from the wire.
+func virtualEnv(vs parbox.VarScheme, vals []WireBoolVals) (*boolexpr.Env, error) {
+	env := boolexpr.NewEnv()
+	for _, v := range vals {
+		if len(v.QV) != vs.NumPreds || len(v.QDV) != vs.NumPreds {
+			return nil, fmt.Errorf("pax: qualifier values for fragment %d have arity %d/%d, want %d",
+				v.Frag, len(v.QV), len(v.QDV), vs.NumPreds)
+		}
+		for p := 0; p < vs.NumPreds; p++ {
+			if v.Known != nil && !v.Known[p] {
+				continue
+			}
+			env.BindConst(vs.QV(v.Frag, p), v.QV[p])
+			env.BindConst(vs.QDV(v.Frag, p), v.QDV[p])
+		}
+	}
+	return env, nil
+}
+
+// initFor selects the stack-initialization vector for fragment fid: a
+// concrete XA vector when supplied, the document vector for the root
+// fragment, z variables otherwise.
+func initFor(sess *session, fid fragment.FragID, inits []WireInit) ([]*boolexpr.Formula, error) {
+	for _, in := range inits {
+		if in.Frag == fid {
+			if len(in.SV) != len(sess.c.Sel) {
+				return nil, fmt.Errorf("pax: init vector for fragment %d has %d entries, want %d", fid, len(in.SV), len(sess.c.Sel))
+			}
+			return constInit(in.SV), nil
+		}
+	}
+	if fid == fragment.RootFrag {
+		return xpath.DocSelVector[*boolexpr.Formula](parbox.FormulaAlg{}, sess.c), nil
+	}
+	return zInit(sess.vs, fid, sess.c), nil
+}
+
+// handleSel runs PaX3 Stage 2 over the requested fragments.
+func (s *Site) handleSel(req *SelStageReq) (*SelStageResp, error) {
+	sess, err := s.getSession(req.QID, req.Query, req.NumFrags)
+	if err != nil {
+		return nil, err
+	}
+	sess.shipXML = req.ShipXML
+	env, err := virtualEnv(sess.vs, req.VirtualQuals)
+	if err != nil {
+		return nil, err
+	}
+	resp := &SelStageResp{}
+	for _, fid := range req.Frags {
+		f, ok := s.frags[fid]
+		if !ok {
+			return nil, fmt.Errorf("pax: site %d does not host fragment %d", s.id, fid)
+		}
+		init, err := initFor(sess, fid, req.Inits)
+		if err != nil {
+			return nil, err
+		}
+		fq := sess.qual[fid]
+		qualAt := func(n *xmltree.Node, entry int) *boolexpr.Formula {
+			if fq == nil {
+				// Stage 1 was skipped: the query has no qualifiers, so this
+				// must never be called.
+				panic(fmt.Sprintf("pax: qualifier requested for entry %d without Stage 1", entry))
+			}
+			return env.Resolve(fq.SelQual[n.ID][entry])
+		}
+		outc := evalSelection(f, sess.c, init, req.ShipXML, qualAt)
+		for _, ctx := range outc.contexts {
+			resp.Contexts = append(resp.Contexts, WireContext{Frag: ctx.frag, SV: boolexpr.EncodeVec(ctx.sv)})
+		}
+		resp.Answers = append(resp.Answers, outc.answers...)
+		if len(outc.candidates) > 0 {
+			sess.cands[fid] = outc.candidates
+			resp.Candidates = append(resp.Candidates, fid)
+		}
+		delete(sess.qual, fid) // Stage-1 state is no longer needed
+	}
+	s.dropSessionIfDone(req.QID, sess)
+	return resp, nil
+}
+
+// handleCombined runs PaX2 Stage 1 over the requested fragments.
+func (s *Site) handleCombined(req *CombinedStageReq) (*CombinedStageResp, error) {
+	sess, err := s.getSession(req.QID, req.Query, req.NumFrags)
+	if err != nil {
+		return nil, err
+	}
+	sess.shipXML = req.ShipXML
+	resp := &CombinedStageResp{}
+	for _, fid := range req.Frags {
+		f, ok := s.frags[fid]
+		if !ok {
+			return nil, fmt.Errorf("pax: site %d does not host fragment %d", s.id, fid)
+		}
+		init, err := initFor(sess, fid, req.Inits)
+		if err != nil {
+			return nil, err
+		}
+		outc := evalCombined(f, sess.c, sess.vs, init, req.ShipXML)
+		resp.Roots = append(resp.Roots, WireRootVecs{
+			Frag: fid,
+			QV:   boolexpr.EncodeVec(outc.roots.QV),
+			QDV:  boolexpr.EncodeVec(outc.roots.QDV),
+		})
+		for _, ctx := range outc.contexts {
+			resp.Contexts = append(resp.Contexts, WireContext{Frag: ctx.frag, SV: boolexpr.EncodeVec(ctx.sv)})
+		}
+		resp.Answers = append(resp.Answers, outc.answers...)
+		if len(outc.candidates) > 0 {
+			sess.cands[fid] = outc.candidates
+			resp.Candidates = append(resp.Candidates, fid)
+		}
+	}
+	s.dropSessionIfDone(req.QID, sess)
+	return resp, nil
+}
+
+// handleCollect runs PaX3 Stage 3 / PaX2 Stage 2: resolve retained
+// candidates against the ground z and qualifier values.
+func (s *Site) handleCollect(req *AnsStageReq) (*AnsStageResp, error) {
+	sess, err := s.getSession(req.QID, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	env, err := virtualEnv(sess.vs, req.Quals)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range req.Inits {
+		if len(in.SV) != len(sess.c.Sel) {
+			return nil, fmt.Errorf("pax: init vector for fragment %d has %d entries, want %d", in.Frag, len(in.SV), len(sess.c.Sel))
+		}
+		for i, b := range in.SV {
+			env.BindConst(sess.vs.SV(in.Frag, i), b)
+		}
+	}
+	resp := &AnsStageResp{}
+	for _, in := range req.Inits {
+		f, ok := s.frags[in.Frag]
+		if !ok {
+			return nil, fmt.Errorf("pax: site %d does not host fragment %d", s.id, in.Frag)
+		}
+		for _, cand := range sess.cands[in.Frag] {
+			if env.MustResolveConst(cand.f) {
+				resp.Answers = append(resp.Answers, answerOf(f, f.Tree.Node(cand.node), sess.shipXML))
+			}
+		}
+		delete(sess.cands, in.Frag)
+	}
+	s.dropSessionIfDone(req.QID, sess)
+	return resp, nil
+}
+
+// handleFetch ships entire fragments (NaiveCentralized).
+func (s *Site) handleFetch() (*FetchResp, error) {
+	resp := &FetchResp{}
+	for _, fid := range s.FragIDs() {
+		f := s.frags[fid]
+		resp.Frags = append(resp.Frags, WireFragment{ID: fid, Root: toWireNode(f, f.Tree.Root)})
+	}
+	return resp, nil
+}

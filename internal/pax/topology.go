@@ -1,0 +1,108 @@
+package pax
+
+import (
+	"fmt"
+	"sort"
+
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+)
+
+// Topology maps fragments to sites — the deployment layer the paper leaves
+// to "the system". It imposes no constraints: any fragment may live at any
+// site, several fragments may share a site.
+type Topology struct {
+	FT     *fragment.Fragmentation
+	SiteOf map[fragment.FragID]dist.SiteID
+
+	fragsAt map[dist.SiteID][]fragment.FragID
+	sites   []dist.SiteID
+}
+
+// NewTopology validates and indexes an assignment of fragments to sites.
+func NewTopology(ft *fragment.Fragmentation, siteOf map[fragment.FragID]dist.SiteID) (*Topology, error) {
+	t := &Topology{FT: ft, SiteOf: make(map[fragment.FragID]dist.SiteID, ft.Len()), fragsAt: make(map[dist.SiteID][]fragment.FragID)}
+	for i := 0; i < ft.Len(); i++ {
+		id := fragment.FragID(i)
+		site, ok := siteOf[id]
+		if !ok {
+			return nil, fmt.Errorf("pax: fragment %d has no site", id)
+		}
+		t.SiteOf[id] = site
+		t.fragsAt[site] = append(t.fragsAt[site], id)
+	}
+	for site := range t.fragsAt {
+		t.sites = append(t.sites, site)
+		sort.Slice(t.fragsAt[site], func(i, j int) bool { return t.fragsAt[site][i] < t.fragsAt[site][j] })
+	}
+	sort.Slice(t.sites, func(i, j int) bool { return t.sites[i] < t.sites[j] })
+	return t, nil
+}
+
+// RoundRobin assigns fragment i to site i mod numSites — the layout of
+// Experiment 1, one fragment per machine when numSites >= fragments.
+func RoundRobin(ft *fragment.Fragmentation, numSites int) *Topology {
+	if numSites < 1 {
+		numSites = 1
+	}
+	m := make(map[fragment.FragID]dist.SiteID, ft.Len())
+	for i := 0; i < ft.Len(); i++ {
+		m[fragment.FragID(i)] = dist.SiteID(i % numSites)
+	}
+	t, err := NewTopology(ft, m)
+	if err != nil {
+		panic(err) // total assignment cannot fail
+	}
+	return t
+}
+
+// Sites returns every site in the topology, ascending.
+func (t *Topology) Sites() []dist.SiteID { return t.sites }
+
+// FragsAt returns the fragments hosted at a site, ascending.
+func (t *Topology) FragsAt(site dist.SiteID) []fragment.FragID { return t.fragsAt[site] }
+
+// BuildLocalCluster constructs the in-process cluster for a topology: one
+// Site per SiteID, registered on a fresh Local transport.
+func BuildLocalCluster(t *Topology) (*dist.Local, []*Site) {
+	local := dist.NewLocal()
+	var sites []*Site
+	for _, sid := range t.sites {
+		var frags []*fragment.Fragment
+		for _, fid := range t.fragsAt[sid] {
+			frags = append(frags, t.FT.Frag(fid))
+		}
+		site := NewSite(sid, frags)
+		local.AddSite(sid, site.Handler())
+		sites = append(sites, site)
+	}
+	return local, sites
+}
+
+// BuildTCPCluster starts one TCP server per site on the loopback interface
+// and returns the connected transport plus a shutdown function.
+func BuildTCPCluster(t *Topology) (*dist.TCP, func(), error) {
+	addrs := make(map[dist.SiteID]string, len(t.sites))
+	var servers []*dist.TCPServer
+	shutdown := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for _, sid := range t.sites {
+		var frags []*fragment.Fragment
+		for _, fid := range t.fragsAt[sid] {
+			frags = append(frags, t.FT.Frag(fid))
+		}
+		site := NewSite(sid, frags)
+		srv, err := dist.NewTCPServer("127.0.0.1:0", site.Handler())
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		addrs[sid] = srv.Addr()
+	}
+	tcp := dist.NewTCP(addrs)
+	return tcp, func() { tcp.Close(); shutdown() }, nil
+}

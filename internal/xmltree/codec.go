@@ -1,0 +1,126 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r into a Tree. Processing instructions,
+// comments and directives are skipped; the document must have exactly one
+// top-level element. Character data consisting entirely of whitespace
+// between elements is dropped (it is markup formatting, not content),
+// matching how the paper's datasets are interpreted.
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				n.SetAttr(a.Name.Local, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].Append(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue // whitespace outside root
+			}
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			stack[len(stack)-1].Append(NewText(s))
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unterminated element %q", stack[len(stack)-1].Label)
+	}
+	return NewTree(root), nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string) (*Tree, error) { return Parse(strings.NewReader(s)) }
+
+// Serialize writes the subtree rooted at n as XML to w, without declaration
+// or indentation. The output round-trips through Parse.
+func Serialize(w io.Writer, n *Node) error {
+	bw := bufio.NewWriter(w)
+	if err := writeNode(bw, n); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeNode(w *bufio.Writer, n *Node) error {
+	if n.Kind == Text {
+		if err := xml.EscapeText(w, []byte(n.Data)); err != nil {
+			return err
+		}
+		return nil
+	}
+	w.WriteByte('<')
+	w.WriteString(n.Label)
+	for _, a := range n.Attrs {
+		w.WriteByte(' ')
+		w.WriteString(a.Name)
+		w.WriteString(`="`)
+		if err := xml.EscapeText(w, []byte(a.Value)); err != nil {
+			return err
+		}
+		w.WriteByte('"')
+	}
+	if len(n.Children) == 0 {
+		w.WriteString("/>")
+		return nil
+	}
+	w.WriteByte('>')
+	for _, c := range n.Children {
+		if err := writeNode(w, c); err != nil {
+			return err
+		}
+	}
+	w.WriteString("</")
+	w.WriteString(n.Label)
+	w.WriteByte('>')
+	return nil
+}
+
+// SerializeString renders the subtree rooted at n as an XML string.
+func SerializeString(n *Node) string {
+	var b strings.Builder
+	bw := bufio.NewWriter(&b)
+	if err := writeNode(bw, n); err != nil {
+		// strings.Builder never errors; xml.EscapeText errors only on a
+		// failing writer, so this is unreachable.
+		panic(err)
+	}
+	bw.Flush()
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package xmltree
+
+import "testing"
+
+func TestParseSkipsCommentsAndPIs(t *testing.T) {
+	tr, err := ParseString(`<?xml version="1.0"?><!-- header --><a><!-- inner --><b>x</b><?pi data?></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root.Children) != 1 || tr.Root.Children[0].Label != "b" {
+		t.Fatalf("comments/PIs must be skipped: %+v", tr.Root.Children)
+	}
+}
+
+func TestParseCDATA(t *testing.T) {
+	tr, err := ParseString(`<a><![CDATA[raw <text> & stuff]]></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Root.Value(); got != "raw <text> & stuff" {
+		t.Errorf("CDATA value = %q", got)
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	doc := ""
+	const depth = 400
+	for i := 0; i < depth; i++ {
+		doc += "<a>"
+	}
+	doc += "x"
+	for i := 0; i < depth; i++ {
+		doc += "</a>"
+	}
+	tr, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tr.ComputeStats(); s.Depth != depth+1 {
+		t.Errorf("depth = %d want %d", s.Depth, depth+1)
+	}
+}

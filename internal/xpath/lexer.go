@@ -1,0 +1,231 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkSlash
+	tkDSlash
+	tkLBrack
+	tkRBrack
+	tkLParen
+	tkRParen
+	tkStar
+	tkDot
+	tkName
+	tkString
+	tkNumber
+	tkEq
+	tkNe
+	tkLt
+	tkLe
+	tkGt
+	tkGe
+	tkBang
+	tkAmpAmp
+	tkPipePipe
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tkEOF:
+		return "end of query"
+	case tkSlash:
+		return "'/'"
+	case tkDSlash:
+		return "'//'"
+	case tkLBrack:
+		return "'['"
+	case tkRBrack:
+		return "']'"
+	case tkLParen:
+		return "'('"
+	case tkRParen:
+		return "')'"
+	case tkStar:
+		return "'*'"
+	case tkDot:
+		return "'.'"
+	case tkName:
+		return "name"
+	case tkString:
+		return "string literal"
+	case tkNumber:
+		return "number"
+	case tkEq:
+		return "'='"
+	case tkNe:
+		return "'!='"
+	case tkLt:
+		return "'<'"
+	case tkLe:
+		return "'<='"
+	case tkGt:
+		return "'>'"
+	case tkGe:
+		return "'>='"
+	case tkBang:
+		return "'!'"
+	case tkAmpAmp:
+		return "'&&'"
+	case tkPipePipe:
+		return "'||'"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokKind
+	pos  int
+	text string  // for names and strings
+	num  float64 // for numbers
+}
+
+// lexer tokenizes a query string. It is a straightforward hand-written
+// scanner; errors carry byte offsets for useful diagnostics.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tkEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("xpath: %s at offset %d in %q", fmt.Sprintf(format, args...), pos, l.src)
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameRune(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tkEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch {
+	case two == "//":
+		l.pos += 2
+		return token{kind: tkDSlash, pos: start}, nil
+	case two == "!=":
+		l.pos += 2
+		return token{kind: tkNe, pos: start}, nil
+	case two == "<=":
+		l.pos += 2
+		return token{kind: tkLe, pos: start}, nil
+	case two == ">=":
+		l.pos += 2
+		return token{kind: tkGe, pos: start}, nil
+	case two == "&&":
+		l.pos += 2
+		return token{kind: tkAmpAmp, pos: start}, nil
+	case two == "||":
+		l.pos += 2
+		return token{kind: tkPipePipe, pos: start}, nil
+	}
+	switch c {
+	case '/':
+		l.pos++
+		return token{kind: tkSlash, pos: start}, nil
+	case '[':
+		l.pos++
+		return token{kind: tkLBrack, pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tkRBrack, pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tkLParen, pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tkRParen, pos: start}, nil
+	case '*':
+		l.pos++
+		return token{kind: tkStar, pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tkEq, pos: start}, nil
+	case '<':
+		l.pos++
+		return token{kind: tkLt, pos: start}, nil
+	case '>':
+		l.pos++
+		return token{kind: tkGt, pos: start}, nil
+	case '!':
+		l.pos++
+		return token{kind: tkBang, pos: start}, nil
+	case '\'', '"':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf(start, "unterminated string literal")
+		}
+		l.pos++ // closing quote
+		return token{kind: tkString, pos: start, text: b.String()}, nil
+	}
+	if c >= '0' && c <= '9' {
+		end := l.pos
+		for end < len(l.src) && (l.src[end] >= '0' && l.src[end] <= '9' || l.src[end] == '.') {
+			end++
+		}
+		n, err := strconv.ParseFloat(l.src[l.pos:end], 64)
+		if err != nil {
+			return token{}, l.errf(start, "bad number %q", l.src[l.pos:end])
+		}
+		l.pos = end
+		return token{kind: tkNumber, pos: start, num: n}, nil
+	}
+	if c == '.' {
+		l.pos++
+		return token{kind: tkDot, pos: start}, nil
+	}
+	r := rune(c)
+	if isNameStart(r) {
+		end := l.pos
+		for end < len(l.src) && isNameRune(rune(l.src[end])) {
+			end++
+		}
+		name := l.src[l.pos:end]
+		l.pos = end
+		return token{kind: tkName, pos: start, text: name}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", string(c))
+}

@@ -1,0 +1,74 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NormalForm renders the §2.2 normal form β1/…/βn of a query, where each βi
+// is a label, "*", "//" or "ε[q]". It applies the normalization rules of
+// the paper verbatim:
+//
+//	normalize(Q[q])            = normalize(Q)/ε[normalize(q)]
+//	normalize(Q/text() = s)    = normalize(Q)/ε[text() = s]
+//	normalize(Q/val() op n)    = normalize(Q)/ε[val() op n]
+//	normalize(ε[q1]/…/ε[qn])   = ε[normalize(q1) ∧ … ∧ normalize(qn)]
+//
+// The function is linear in the size of the query, like the paper's
+// normalize(). It is used for fidelity tests and query display; Compile
+// performs the same normalization structurally.
+func NormalForm(q *Query) string {
+	var items []string
+	flushQuals := func(quals []string) {
+		if len(quals) == 0 {
+			return
+		}
+		// Consecutive ε[q] items combine into one conjunction.
+		items = append(items, "ε["+strings.Join(quals, " ∧ ")+"]")
+	}
+	var pending []string
+	for _, s := range q.Steps {
+		if s.Axis == AxisSelf {
+			for _, c := range s.Quals {
+				pending = append(pending, normalCond(c))
+			}
+			continue
+		}
+		flushQuals(pending)
+		pending = nil
+		if s.Axis == AxisDesc {
+			items = append(items, "//")
+		}
+		items = append(items, s.Test.String())
+		for _, c := range s.Quals {
+			pending = append(pending, normalCond(c))
+		}
+	}
+	flushQuals(pending)
+	return strings.Join(items, "/")
+}
+
+func normalCond(c Cond) string {
+	switch c := c.(type) {
+	case *CondAnd:
+		return normalCond(c.X) + " ∧ " + normalCond(c.Y)
+	case *CondOr:
+		return "(" + normalCond(c.X) + " ∨ " + normalCond(c.Y) + ")"
+	case *CondNot:
+		return "¬(" + normalCond(c.X) + ")"
+	case *CondPath:
+		return NormalForm(c.Path)
+	case *CondCmp:
+		var test string
+		if c.Term == TermText {
+			test = fmt.Sprintf("ε[text() %s %q]", c.Op, c.Str)
+		} else {
+			test = fmt.Sprintf("ε[val() %s %g]", c.Op, c.Num)
+		}
+		if c.Path == nil {
+			return test
+		}
+		return NormalForm(c.Path) + "/" + test
+	}
+	panic("xpath: unknown condition")
+}

@@ -1,0 +1,344 @@
+package xpath
+
+import (
+	"fmt"
+)
+
+// Parse parses a query in the fragment X. Concrete syntax examples:
+//
+//	/sites/site/people/person
+//	//broker[//stock/code/text() = "goog"]/name
+//	client[country = "US"]/broker[market/name = "nasdaq"]/name
+//	/sites//person[profile/age > 20 and address/country = "US"]/creditcard
+//	[//stock/code = "goog"]                      (bare Boolean query)
+//
+// Sugar: "path = 'str'" abbreviates "path/text() = 'str'" and
+// "path > 20" abbreviates "path/val() > 20". Negation is written
+// "not(q)" or "!q"; conjunction "and"/"&&"; disjunction "or"/"||".
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tkEOF {
+		return nil, p.errf("unexpected %s after query", p.peek().kind)
+	}
+	return q, nil
+}
+
+// MustParse is Parse, panicking on error. For tests and fixed queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) accept(k tokKind) bool {
+	if p.toks[p.i].kind == k {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xpath: %s at offset %d in %q", fmt.Sprintf(format, args...), p.peek().pos, p.src)
+}
+
+// parseQuery parses a full query: a bare Boolean qualifier "[q]" or a path.
+func (p *parser) parseQuery() (*Query, error) {
+	if p.peek().kind == tkLBrack {
+		// Bare Boolean query: evaluate the qualifier at the root element.
+		// Represent as the relative query ".[q]" — a self step on the root.
+		step := &Step{Axis: AxisSelf}
+		for p.accept(tkLBrack) {
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			if !p.accept(tkRBrack) {
+				return nil, p.errf("expected ']', got %s", p.peek().kind)
+			}
+			step.Quals = append(step.Quals, c)
+		}
+		return &Query{Absolute: false, Steps: []*Step{step}}, nil
+	}
+	q := &Query{}
+	firstAxis := AxisChild
+	switch p.peek().kind {
+	case tkDSlash:
+		p.next()
+		q.Absolute = true
+		firstAxis = AxisDesc
+	case tkSlash:
+		p.next()
+		q.Absolute = true
+	}
+	return p.parseSteps(q, firstAxis)
+}
+
+// parseRelPath parses a relative path inside a qualifier. A leading "//" is
+// allowed ("[//stock/...]") and means descendant of the context node.
+func (p *parser) parseRelPath() (*Query, error) {
+	q := &Query{Absolute: false}
+	firstAxis := AxisChild
+	if p.peek().kind == tkDSlash {
+		p.next()
+		firstAxis = AxisDesc
+	} else if p.peek().kind == tkSlash {
+		return nil, p.errf("qualifier paths are relative; remove the leading '/'")
+	}
+	return p.parseSteps(q, firstAxis)
+}
+
+func (p *parser) parseSteps(q *Query, axis Axis) (*Query, error) {
+	for {
+		s, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		q.Steps = append(q.Steps, s)
+		switch p.peek().kind {
+		case tkSlash:
+			p.next()
+			axis = AxisChild
+		case tkDSlash:
+			p.next()
+			axis = AxisDesc
+		default:
+			return q, nil
+		}
+	}
+}
+
+func (p *parser) parseStep(axis Axis) (*Step, error) {
+	s := &Step{Axis: axis}
+	switch t := p.peek(); t.kind {
+	case tkName:
+		p.next()
+		s.Test = NodeTest{Label: t.text}
+	case tkStar:
+		p.next()
+		s.Test = NodeTest{Wild: true}
+	case tkDot:
+		p.next()
+		if axis == AxisDesc {
+			return nil, p.errf("a self step ('.') directly after '//' is not supported; rewrite the query")
+		}
+		s.Axis = AxisSelf
+	default:
+		return nil, p.errf("expected a step (name, '*' or '.'), got %s", t.kind)
+	}
+	for p.accept(tkLBrack) {
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tkRBrack) {
+			return nil, p.errf("expected ']', got %s", p.peek().kind)
+		}
+		s.Quals = append(s.Quals, c)
+	}
+	return s, nil
+}
+
+// parseCond parses a qualifier with standard precedence: or < and < not.
+func (p *parser) parseCond() (Cond, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Cond, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.peek().kind == tkPipePipe || (p.peek().kind == tkName && p.peek().text == "or") {
+			p.next()
+			right, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			left = &CondOr{X: left, Y: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseAnd() (Cond, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.peek().kind == tkAmpAmp || (p.peek().kind == tkName && p.peek().text == "and") {
+			p.next()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &CondAnd{X: left, Y: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Cond, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tkBang:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &CondNot{X: x}, nil
+	case t.kind == tkName && t.text == "not" && p.toks[p.i+1].kind == tkLParen:
+		p.next() // not
+		p.next() // (
+		x, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tkRParen) {
+			return nil, p.errf("expected ')', got %s", p.peek().kind)
+		}
+		return &CondNot{X: x}, nil
+	case t.kind == tkLParen:
+		p.next()
+		x, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tkRParen) {
+			return nil, p.errf("expected ')', got %s", p.peek().kind)
+		}
+		return x, nil
+	}
+	return p.parsePathCond()
+}
+
+// parsePathCond parses a path condition with an optional comparison tail.
+func (p *parser) parsePathCond() (Cond, error) {
+	// Bare text()/val() test on the context node.
+	if term, ok := p.peekTermFn(); ok {
+		return p.parseCmpTail(nil, term)
+	}
+	path, err := p.parseRelPath()
+	if err != nil {
+		return nil, err
+	}
+	// Explicit "/text()" or "/val()" tail: the function call appears as the
+	// last step name followed by "()" — but parseSteps stops before "(",
+	// having consumed "text" or "val" as a name step. Detect that.
+	if n := len(path.Steps); n > 0 && p.peek().kind == tkLParen {
+		last := path.Steps[n-1]
+		if !last.Test.Wild && (last.Test.Label == "text" || last.Test.Label == "val") && len(last.Quals) == 0 && last.Axis == AxisChild {
+			p.next() // (
+			if !p.accept(tkRParen) {
+				return nil, p.errf("expected ')' after %s(", last.Test.Label)
+			}
+			term := TermText
+			if last.Test.Label == "val" {
+				term = TermVal
+			}
+			path.Steps = path.Steps[:n-1]
+			if len(path.Steps) == 0 {
+				path = nil
+			}
+			return p.parseCmpTail(path, term)
+		}
+	}
+	// Sugar: path op literal.
+	switch p.peek().kind {
+	case tkEq, tkNe, tkLt, tkLe, tkGt, tkGe:
+		op := p.parseOp()
+		return p.finishCmp(path, TermNone, op)
+	}
+	return &CondPath{Path: path}, nil
+}
+
+// peekTermFn recognizes a leading "text()" or "val()".
+func (p *parser) peekTermFn() (TermKind, bool) {
+	t := p.peek()
+	if t.kind != tkName || p.toks[p.i+1].kind != tkLParen || p.toks[p.i+2].kind != tkRParen {
+		return TermNone, false
+	}
+	switch t.text {
+	case "text":
+		p.i += 3
+		return TermText, true
+	case "val":
+		p.i += 3
+		return TermVal, true
+	}
+	return TermNone, false
+}
+
+func (p *parser) parseOp() CmpOp {
+	switch p.next().kind {
+	case tkEq:
+		return CmpEq
+	case tkNe:
+		return CmpNe
+	case tkLt:
+		return CmpLt
+	case tkLe:
+		return CmpLe
+	case tkGt:
+		return CmpGt
+	default:
+		return CmpGe
+	}
+}
+
+// parseCmpTail parses "op literal" after an explicit text()/val().
+func (p *parser) parseCmpTail(path *Query, term TermKind) (Cond, error) {
+	switch p.peek().kind {
+	case tkEq, tkNe, tkLt, tkLe, tkGt, tkGe:
+		op := p.parseOp()
+		return p.finishCmp(path, term, op)
+	}
+	return nil, p.errf("expected comparison operator after %s()", map[TermKind]string{TermText: "text", TermVal: "val"}[term])
+}
+
+// finishCmp consumes the literal and builds the CondCmp, inferring the term
+// kind from the literal when the sugar form was used (term == TermNone).
+func (p *parser) finishCmp(path *Query, term TermKind, op CmpOp) (Cond, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkString:
+		p.next()
+		if term == TermVal {
+			return nil, p.errf("val() compares numbers, got string literal %q", t.text)
+		}
+		if op != CmpEq && op != CmpNe {
+			return nil, p.errf("text() admits only = and !=, got %s", op)
+		}
+		return &CondCmp{Path: path, Term: TermText, Op: op, Str: t.text}, nil
+	case tkNumber:
+		p.next()
+		if term == TermText {
+			return nil, p.errf("text() compares strings, got number %g", t.num)
+		}
+		return &CondCmp{Path: path, Term: TermVal, Op: op, Num: t.num}, nil
+	}
+	return nil, p.errf("expected string or number literal, got %s", t.kind)
+}

@@ -1,0 +1,366 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+// The four queries of Fig. 7, in this package's concrete syntax.
+var paperQueries = []string{
+	"/sites/site/people/person",
+	"/sites/site/open_auctions//annotation",
+	`/sites/site/people/person[profile/age > 20 and address/country = "US"]/creditcard`,
+	`/sites//people/person[profile/age > 20 and address/country = "US"]/creditcard`,
+}
+
+func TestPaperQueriesParse(t *testing.T) {
+	for i, src := range paperQueries {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Q%d %q: %v", i+1, src, err)
+		}
+		if !q.Absolute {
+			t.Errorf("Q%d should be absolute", i+1)
+		}
+		if _, err := CompileQuery(q, src); err != nil {
+			t.Errorf("Q%d compile: %v", i+1, err)
+		}
+	}
+}
+
+func TestParseSimplePaths(t *testing.T) {
+	q := MustParse("/a/b/c")
+	if len(q.Steps) != 3 || !q.Absolute {
+		t.Fatalf("steps = %d absolute = %v", len(q.Steps), q.Absolute)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if q.Steps[i].Test.Label != want || q.Steps[i].Axis != AxisChild {
+			t.Errorf("step %d = %v/%v", i, q.Steps[i].Axis, q.Steps[i].Test)
+		}
+	}
+}
+
+func TestParseDescendantAndWildcard(t *testing.T) {
+	q := MustParse("//a/*//b")
+	if !q.Absolute {
+		t.Fatal("leading // must be absolute")
+	}
+	if q.Steps[0].Axis != AxisDesc || q.Steps[1].Axis != AxisChild || !q.Steps[1].Test.Wild || q.Steps[2].Axis != AxisDesc {
+		t.Fatalf("axes/tests wrong: %+v", q.Steps)
+	}
+}
+
+func TestParseRelative(t *testing.T) {
+	q := MustParse("client/broker/name")
+	if q.Absolute {
+		t.Fatal("must be relative")
+	}
+	if got := q.SelectionPath(); got != "client/broker/name" {
+		t.Errorf("SelectionPath = %q", got)
+	}
+}
+
+func TestParseQualifierForms(t *testing.T) {
+	cases := []string{
+		`//broker[//stock/code/text() = "goog"]/name`,
+		`//broker[//stock/code = "goog" and not(//stock/code = "yhoo")]/name`,
+		`a[b/val() >= 10 or c/val() < 2]`,
+		`a[!(b) && c || d]`,
+		`a[text() = 'x']`,
+		`a[val() != 7]`,
+		`a[.[b]/c]`,
+		`a[b[c[d]]]`,
+		`*[b]`,
+		`[//stock/code = "goog"]`, // bare Boolean query
+	}
+	for _, src := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if _, err := CompileQuery(q, src); err != nil {
+			t.Errorf("%q compile: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"/",
+		"a/",
+		"a[",
+		"a[]",
+		"a[b",
+		"a]b",
+		"a[/b]",           // absolute path in qualifier
+		"a[b = ]",         // missing literal
+		`a[b < "x"]`,      // string with numeric operator
+		`a[val() = "x"]`,  // val with string
+		`a[text() = 5]`,   // text with number
+		`a[text() < 'x']`, // text with ordering operator
+		"a//.",            // self step after //
+		`a[b/text()]`,     // text() without comparison
+		"a b",             // trailing garbage
+		`a["lit"]`,        // literal is not a condition
+		"a[not(b]",        // unbalanced not(
+		"1a",              // bad name
+		`a[b = "x' ]`,     // unterminated string
+		"a$b",             // bad character
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := append([]string{}, paperQueries...)
+	cases = append(cases,
+		"client/broker/name",
+		`client[country = "US"]/broker[market/name = "nasdaq"]/name`,
+		`//broker[//stock/code/text() = "goog" and not(//stock/code/text() = "yhoo")]/name`,
+		"a/*//b[c or d and not(e)]",
+		`x[y/val() <= 3.5]`,
+	)
+	for _, src := range cases {
+		q1 := MustParse(src)
+		s1 := q1.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Errorf("reparse of %q -> %q: %v", src, s1, err)
+			continue
+		}
+		s2 := q2.String()
+		if s1 != s2 {
+			t.Errorf("round trip unstable: %q -> %q -> %q", src, s1, s2)
+		}
+	}
+}
+
+// TestNormalFormExample21 checks the normalization of Example 2.1 of the
+// paper.
+func TestNormalFormExample21(t *testing.T) {
+	q := MustParse(`client[country/text() = "us"]/broker[market/name/text() = "nasdaq"]/name`)
+	got := NormalForm(q)
+	want := `client/ε[country/ε[text() = "us"]]/broker/ε[market/name/ε[text() = "nasdaq"]]/name`
+	if got != want {
+		t.Errorf("NormalForm:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestNormalFormDescAndBool(t *testing.T) {
+	q := MustParse(`//broker[//stock/code = "goog" and not(x or y)]/name`)
+	got := NormalForm(q)
+	if !strings.Contains(got, "///broker") && !strings.HasPrefix(got, "///") {
+		// "//" is rendered as its own β item joined with "/": "//"+"/broker".
+		t.Logf("normal form: %s", got)
+	}
+	for _, frag := range []string{"//", "broker", `ε[//`, `code/ε`, "∧", "¬(", "∨"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("normal form %q missing %q", got, frag)
+		}
+	}
+}
+
+func TestNormalFormMergesConsecutiveSelfSteps(t *testing.T) {
+	q := MustParse("a[b]/.[c]/d")
+	got := NormalForm(q)
+	want := "a/ε[b ∧ c]/d"
+	if got != want {
+		t.Errorf("NormalForm = %q want %q", got, want)
+	}
+}
+
+func TestCompileSelEntries(t *testing.T) {
+	// Absolute /a/b: root ε + two steps = 3 entries.
+	c := MustCompile("/a/b")
+	if len(c.Sel) != 3 || c.Sel[0].Kind != SelRoot || c.Sel[1].Kind != SelStep || c.Sel[2].Kind != SelStep {
+		t.Fatalf("Sel = %+v", c.Sel)
+	}
+	if c.AnswerEntry() != 2 {
+		t.Errorf("AnswerEntry = %d", c.AnswerEntry())
+	}
+	// Each // contributes a carry entry.
+	c = MustCompile("//a//b")
+	kinds := []SelKind{SelRoot, SelDesc, SelStep, SelDesc, SelStep}
+	if len(c.Sel) != len(kinds) {
+		t.Fatalf("Sel len = %d want %d", len(c.Sel), len(kinds))
+	}
+	for i, k := range kinds {
+		if c.Sel[i].Kind != k {
+			t.Errorf("Sel[%d].Kind = %v want %v", i, c.Sel[i].Kind, k)
+		}
+	}
+	// Relative queries gain a synthesized wildcard root step.
+	c = MustCompile("client/name")
+	if len(c.Sel) != 4 || c.Sel[1].Kind != SelStep || !c.Sel[1].Test.Wild {
+		t.Fatalf("relative Sel = %+v", c.Sel)
+	}
+	if c.HasQualifiers() {
+		t.Error("no qualifiers expected")
+	}
+}
+
+func TestCompileBareBooleanQuery(t *testing.T) {
+	c := MustCompile(`[//stock/code = "goog"]`)
+	// Root ε + wildcard root step carrying the qualifier.
+	if len(c.Sel) != 2 || c.Sel[1].Kind != SelStep || !c.Sel[1].Test.Wild || c.Sel[1].Qual == nil {
+		t.Fatalf("Sel = %+v", c.Sel)
+	}
+	if !c.HasQualifiers() {
+		t.Error("HasQualifiers must be true")
+	}
+	if len(c.Preds) != 2 { // stock -> code(text=goog)
+		t.Errorf("Preds = %+v", c.Preds)
+	}
+}
+
+func TestCompilePredChain(t *testing.T) {
+	c := MustCompile(`a[b//c/d = "x"]`)
+	if len(c.Preds) != 3 {
+		t.Fatalf("preds = %d: %+v", len(c.Preds), c.Preds)
+	}
+	// Chain compiled post-order: d first, then c, then b.
+	byTest := map[string]Pred{}
+	for _, p := range c.Preds {
+		byTest[p.Test.Label] = p
+	}
+	b, bok := byTest["b"]
+	cc, cok := byTest["c"]
+	d, dok := byTest["d"]
+	if !bok || !cok || !dok {
+		t.Fatalf("missing preds: %+v", byTest)
+	}
+	if b.NextAxis != AxisDesc || c.Preds[b.Next].Test.Label != "c" {
+		t.Errorf("b continuation wrong: %+v", b)
+	}
+	if cc.NextAxis != AxisChild || c.Preds[cc.Next].Test.Label != "d" {
+		t.Errorf("c continuation wrong: %+v", cc)
+	}
+	if d.HasNext() || d.Term != TermText || d.Str != "x" || d.Op != CmpEq {
+		t.Errorf("d terminal wrong: %+v", d)
+	}
+}
+
+func TestCompileNestedQualifier(t *testing.T) {
+	c := MustCompile(`a[b[c]/d]`)
+	// preds: c, d, b (b has Qual anchoring c and Next d)
+	var b *Pred
+	for i := range c.Preds {
+		if c.Preds[i].Test.Label == "b" {
+			b = &c.Preds[i]
+		}
+	}
+	if b == nil || b.Qual == nil || !b.HasNext() {
+		t.Fatalf("b pred wrong: %+v", c.Preds)
+	}
+	anchor, ok := b.Qual.(*QAnchor)
+	if !ok || anchor.Axis != AxisChild || c.Preds[anchor.Pred].Test.Label != "c" {
+		t.Errorf("nested qual anchor wrong: %+v", b.Qual)
+	}
+}
+
+func TestCompileSelfPathQualifiers(t *testing.T) {
+	// [.] is vacuous truth.
+	c := MustCompile(`a[.]`)
+	if _, ok := c.Sel[len(c.Sel)-1].Qual.(QTrue); !ok {
+		t.Errorf("a[.] qual = %#v, want QTrue", c.Sel[len(c.Sel)-1].Qual)
+	}
+	// [text()='x'] is a QTerm.
+	c = MustCompile(`a[text() = 'x']`)
+	qt, ok := c.Sel[len(c.Sel)-1].Qual.(*QTerm)
+	if !ok || qt.Term != TermText || qt.Str != "x" {
+		t.Errorf("a[text()='x'] qual = %#v", c.Sel[len(c.Sel)-1].Qual)
+	}
+}
+
+func TestCompileMultipleQualifiersConjoin(t *testing.T) {
+	c := MustCompile(`a[b][c]`)
+	and, ok := c.Sel[len(c.Sel)-1].Qual.(*QAnd)
+	if !ok || len(and.Xs) != 2 {
+		t.Fatalf("a[b][c] qual = %#v", c.Sel[len(c.Sel)-1].Qual)
+	}
+}
+
+func TestSelfStepMergesIntoPrevious(t *testing.T) {
+	c1 := MustCompile(`a[b]/.[c]/d`)
+	c2 := MustCompile(`a[b][c]/d`)
+	if len(c1.Sel) != len(c2.Sel) || len(c1.Preds) != len(c2.Preds) {
+		t.Errorf("self-step merge differs: %d/%d entries, %d/%d preds",
+			len(c1.Sel), len(c2.Sel), len(c1.Preds), len(c2.Preds))
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b float64
+		want bool
+	}{
+		{CmpEq, 1, 1, true}, {CmpEq, 1, 2, false},
+		{CmpNe, 1, 2, true}, {CmpNe, 2, 2, false},
+		{CmpLt, 1, 2, true}, {CmpLt, 2, 2, false},
+		{CmpLe, 2, 2, true}, {CmpLe, 3, 2, false},
+		{CmpGt, 3, 2, true}, {CmpGt, 2, 2, false},
+		{CmpGe, 2, 2, true}, {CmpGe, 1, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.CompareNum(c.a, c.b); got != c.want {
+			t.Errorf("%g %s %g = %v", c.a, c.op, c.b, got)
+		}
+	}
+	if !CmpEq.CompareStr("x", "x") || CmpEq.CompareStr("x", "y") {
+		t.Error("CompareStr eq")
+	}
+	if !CmpNe.CompareStr("x", "y") || CmpNe.CompareStr("x", "x") {
+		t.Error("CompareStr ne")
+	}
+}
+
+func TestHasQualifiers(t *testing.T) {
+	if MustParse("/a/b").HasQualifiers() {
+		t.Error("plain path has no qualifiers")
+	}
+	if !MustParse("/a[b]/c").HasQualifiers() {
+		t.Error("qualifier not detected")
+	}
+}
+
+func TestSelectionPathStripsQualifiers(t *testing.T) {
+	q := MustParse(`//broker[//stock/code = "goog"]/name`)
+	if got := q.SelectionPath(); got != "//broker/name" {
+		t.Errorf("SelectionPath = %q", got)
+	}
+}
+
+func TestAxisAndKindStrings(t *testing.T) {
+	if AxisChild.String() != "/" || AxisDesc.String() != "//" || AxisSelf.String() != "." {
+		t.Error("Axis.String")
+	}
+	for _, op := range []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe} {
+		if op.String() == "?" {
+			t.Errorf("CmpOp %d has no string", op)
+		}
+	}
+}
+
+func BenchmarkParseQ4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(paperQueries[3]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileQ4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(paperQueries[3]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

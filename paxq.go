@@ -1,0 +1,325 @@
+// Package paxq is a distributed XPath query engine with performance
+// guarantees, reproducing "Distributed Query Evaluation with Performance
+// Guarantees" (Cong, Fan, Kementsietsidis — SIGMOD 2007).
+//
+// An XML document is fragmented into subtrees distributed over sites; paxq
+// evaluates data-selecting XPath queries (downward axes + qualifiers) over
+// the fragmented tree using partial evaluation: every site evaluates the
+// whole query over its fragments, producing residual Boolean formulas over
+// variables that stand for the data other sites hold; the coordinator
+// unifies them. The guarantees, independent of how the tree is fragmented
+// and distributed:
+//
+//   - each site is visited at most 3 times (PaX3), at most 2 (PaX2), and
+//     as little as once with the annotation optimization;
+//   - network traffic is O(|Q|·|fragments| + |answer|) — never O(|tree|);
+//   - total computation is comparable to the best centralized algorithm.
+//
+// Quick start:
+//
+//	doc, _ := paxq.ParseDocument(strings.NewReader(xmlText))
+//	cluster, _ := paxq.NewCluster(doc, paxq.ClusterOptions{Fragments: 4, Sites: 2})
+//	defer cluster.Close()
+//	answers, _ := cluster.Evaluate(`//broker[//stock/code = "GOOG"]/name`)
+package paxq
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"paxq/internal/centeval"
+	"paxq/internal/fragment"
+	"paxq/internal/pax"
+	"paxq/internal/xmark"
+	"paxq/internal/xmltree"
+	"paxq/internal/xpath"
+)
+
+// Document is a parsed XML document.
+type Document struct {
+	tree *xmltree.Tree
+}
+
+// ParseDocument reads an XML document.
+func ParseDocument(r io.Reader) (*Document, error) {
+	t, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{tree: t}, nil
+}
+
+// ParseDocumentString is ParseDocument over a string.
+func ParseDocumentString(s string) (*Document, error) {
+	return ParseDocument(strings.NewReader(s))
+}
+
+// Nodes returns the number of nodes in the document.
+func (d *Document) Nodes() int { return d.tree.Size() }
+
+// Bytes returns the estimated serialized size.
+func (d *Document) Bytes() int { return d.tree.ComputeStats().Bytes }
+
+// XML serializes the document.
+func (d *Document) XML() string { return xmltree.SerializeString(d.tree.Root) }
+
+// GenerateXMark generates a synthetic XMark-like document (the workload of
+// the paper's experiments): a "sites" root with the given number of XMark
+// site subtrees, totalling approximately mb megabytes. Deterministic in
+// seed.
+func GenerateXMark(sites int, mb float64, seed int64) *Document {
+	if sites < 1 {
+		sites = 1
+	}
+	if mb <= 0 {
+		mb = 0.1
+	}
+	cal := xmark.Calibrate()
+	spec := cal.SpecForBytes(int(mb * 1e6 / float64(sites)))
+	return &Document{tree: xmark.Generate(sites, spec, seed)}
+}
+
+// Answer is one element of a query answer.
+type Answer struct {
+	// Fragment and Node identify the element within the fragmented tree.
+	Fragment int
+	Node     int
+	// Label and Value are the element's tag and string value.
+	Label string
+	Value string
+	// XML is the serialized subtree when requested via ShipXML.
+	XML string
+}
+
+// Stats reports the cost profile of one distributed evaluation — the
+// quantities the paper's guarantees bound.
+type Stats struct {
+	Algorithm     string
+	Stages        int
+	MaxSiteVisits int
+	BytesSent     int64
+	BytesReceived int64
+	Wall          time.Duration
+	TotalCompute  time.Duration
+	// ParallelCompute is the paper's parallel computation cost: per stage,
+	// the maximum computation time across sites — the evaluation time
+	// perceived on a cluster with one machine per site.
+	ParallelCompute time.Duration
+	RelevantFrags   int
+	TotalFrags      int
+}
+
+// TransportKind selects how coordinator and sites communicate.
+type TransportKind int
+
+// Transports: in-process (default) or real TCP servers on loopback.
+const (
+	TransportLocal TransportKind = iota
+	TransportTCP
+)
+
+// ClusterOptions configures fragmentation and deployment.
+type ClusterOptions struct {
+	// Fragments requests a random fragmentation with this many fragments
+	// (at least 1). Ignored when CutPaths or MaxFragmentNodes is set.
+	Fragments int
+	// CutPaths fragments the document at the elements selected by these
+	// XPath queries — precise, declarative fragmentation.
+	CutPaths []string
+	// MaxFragmentNodes fragments by size: no fragment much exceeds this
+	// node count.
+	MaxFragmentNodes int
+	// Sites is the number of sites fragments are spread over
+	// (round-robin). Defaults to one site per fragment.
+	Sites int
+	// Transport selects in-process or TCP deployment.
+	Transport TransportKind
+	// Seed drives random fragmentation.
+	Seed int64
+}
+
+// Cluster is a fragmented, distributed document plus a coordinator.
+type Cluster struct {
+	ft       *fragment.Fragmentation
+	topo     *pax.Topology
+	engine   *pax.Engine
+	shutdown func()
+}
+
+// NewCluster fragments doc and deploys the fragments over sites.
+func NewCluster(doc *Document, opts ClusterOptions) (*Cluster, error) {
+	var cuts []xmltree.NodeID
+	switch {
+	case len(opts.CutPaths) > 0:
+		seen := make(map[xmltree.NodeID]bool)
+		for _, path := range opts.CutPaths {
+			q, err := xpath.Parse(path)
+			if err != nil {
+				return nil, fmt.Errorf("paxq: cut path %q: %w", path, err)
+			}
+			for _, n := range centeval.EvalNaive(doc.tree, q) {
+				if n.Parent == nil {
+					continue // cannot cut at the root
+				}
+				if !seen[n.ID] {
+					seen[n.ID] = true
+					cuts = append(cuts, n.ID)
+				}
+			}
+		}
+	case opts.MaxFragmentNodes > 0:
+		cuts = fragment.CutsBySize(doc.tree, opts.MaxFragmentNodes)
+	case opts.Fragments > 1:
+		cuts = fragment.RandomCuts(doc.tree, opts.Fragments-1, opts.Seed)
+	}
+	ft, err := fragment.Cut(doc.tree, cuts)
+	if err != nil {
+		return nil, fmt.Errorf("paxq: %w", err)
+	}
+	sites := opts.Sites
+	if sites <= 0 {
+		sites = ft.Len()
+	}
+	topo := pax.RoundRobin(ft, sites)
+	c := &Cluster{ft: ft, topo: topo}
+	switch opts.Transport {
+	case TransportLocal:
+		local, _ := pax.BuildLocalCluster(topo)
+		c.engine = pax.NewEngine(topo, local)
+		c.shutdown = func() {}
+	case TransportTCP:
+		tcp, stop, err := pax.BuildTCPCluster(topo)
+		if err != nil {
+			return nil, fmt.Errorf("paxq: %w", err)
+		}
+		c.engine = pax.NewEngine(topo, tcp)
+		c.shutdown = stop
+	default:
+		return nil, fmt.Errorf("paxq: unknown transport %d", opts.Transport)
+	}
+	return c, nil
+}
+
+// Close releases cluster resources (TCP servers, connections).
+func (c *Cluster) Close() {
+	if c.shutdown != nil {
+		c.shutdown()
+	}
+}
+
+// Fragments returns the number of fragments.
+func (c *Cluster) Fragments() int { return c.ft.Len() }
+
+// Sites returns the number of sites.
+func (c *Cluster) Sites() int { return len(c.topo.Sites()) }
+
+// QueryOptions tune one evaluation.
+type QueryOptions struct {
+	// Algorithm: "pax2" (default), "pax3" or "naive".
+	Algorithm string
+	// Annotations enables the §5 fragment-pruning optimization
+	// (default on for Evaluate).
+	Annotations bool
+	// ShipXML returns serialized answer subtrees.
+	ShipXML bool
+}
+
+func (o QueryOptions) toPax() (pax.Options, error) {
+	out := pax.Options{Annotations: o.Annotations, ShipXML: o.ShipXML}
+	switch strings.ToLower(o.Algorithm) {
+	case "", "pax2":
+		out.Algorithm = pax.PaX2
+	case "pax3":
+		out.Algorithm = pax.PaX3
+	case "naive":
+		out.Algorithm = pax.Naive
+	default:
+		return out, fmt.Errorf("paxq: unknown algorithm %q (want pax2, pax3 or naive)", o.Algorithm)
+	}
+	return out, nil
+}
+
+// Query evaluates an XPath query with explicit options and returns the
+// answers plus the evaluation's cost profile.
+func (c *Cluster) Query(query string, opts QueryOptions) ([]Answer, *Stats, error) {
+	po, err := opts.toPax()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := c.engine.Run(query, po)
+	if err != nil {
+		return nil, nil, err
+	}
+	answers := make([]Answer, len(res.Answers))
+	for i, a := range res.Answers {
+		answers[i] = Answer{
+			Fragment: int(a.Frag),
+			Node:     int(a.Node),
+			Label:    a.Label,
+			Value:    a.Value,
+			XML:      a.XML,
+		}
+	}
+	stats := &Stats{
+		Algorithm:       po.Algorithm.String(),
+		Stages:          res.Stages,
+		MaxSiteVisits:   res.MaxVisits,
+		BytesSent:       res.BytesSent,
+		BytesReceived:   res.BytesRecv,
+		Wall:            res.Wall,
+		TotalCompute:    res.TotalCompute,
+		ParallelCompute: res.ParallelCompute,
+		RelevantFrags:   res.RelevantFrags,
+		TotalFrags:      res.TotalFrags,
+	}
+	return answers, stats, nil
+}
+
+// Evaluate runs the query with the best default configuration: PaX2 with
+// XPath annotations.
+func (c *Cluster) Evaluate(query string) ([]Answer, error) {
+	ans, _, err := c.Query(query, QueryOptions{Algorithm: "pax2", Annotations: true})
+	return ans, err
+}
+
+// EvaluateBool evaluates a Boolean query (a bare qualifier such as
+// "[//stock/code = 'GOOG']") using the distributed ParBoX protocol — the
+// single-pass Boolean algorithm the paper's Stage 1 extends. Every site is
+// visited at most once.
+func (c *Cluster) EvaluateBool(query string) (bool, error) {
+	ok, _, err := c.engine.RunBoolean(query, pax.Options{})
+	return ok, err
+}
+
+// EvaluateCentralized evaluates query over the unfragmented document with
+// the efficient O(|T|·|Q|) centralized algorithm — the single-site
+// baseline. Returns the matched elements' labels and values.
+func EvaluateCentralized(doc *Document, query string) ([]Answer, error) {
+	c, err := xpath.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	var out []Answer
+	for _, n := range centeval.EvalVectorNodes(doc.tree, c) {
+		out = append(out, Answer{Fragment: 0, Node: int(n.ID), Label: n.Label, Value: n.Value()})
+	}
+	return out, nil
+}
+
+// CompileCheck parses and compiles a query, returning a descriptive error
+// for invalid input. Useful for validating user queries up front.
+func CompileCheck(query string) error {
+	_, err := xpath.Compile(query)
+	return err
+}
+
+// NormalForm renders the §2.2 normal form of a query.
+func NormalForm(query string) (string, error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return xpath.NormalForm(q), nil
+}

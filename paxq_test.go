@@ -1,0 +1,239 @@
+package paxq
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+const clienteleXML = `<clientele>
+  <client><name>Anna</name><country>US</country>
+    <broker><name>Etrade</name>
+      <market><name>NYSE</name><stock><code>IBM</code><buy>80</buy><qt>50</qt></stock></market>
+      <market><name>NASDAQ</name><stock><code>GOOG</code><buy>374</buy><qt>40</qt></stock></market>
+    </broker>
+  </client>
+  <client><name>Lisa</name><country>Canada</country>
+    <broker><name>CIBC</name>
+      <market><name>TSE</name><stock><code>GOOG</code><buy>382</buy><qt>90</qt></stock></market>
+    </broker>
+  </client>
+</clientele>`
+
+func demoCluster(t *testing.T, opts ClusterOptions) *Cluster {
+	t.Helper()
+	doc, err := ParseDocumentString(clienteleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(doc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func values(ans []Answer) []string {
+	out := make([]string, len(ans))
+	for i, a := range ans {
+		out[i] = a.Value
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDocumentBasics(t *testing.T) {
+	doc, err := ParseDocumentString(clienteleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Nodes() < 20 || doc.Bytes() <= 0 {
+		t.Errorf("Nodes=%d Bytes=%d", doc.Nodes(), doc.Bytes())
+	}
+	if !strings.HasPrefix(doc.XML(), "<clientele>") {
+		t.Errorf("XML = %.40q", doc.XML())
+	}
+	if _, err := ParseDocumentString("<broken"); err == nil {
+		t.Error("broken XML must fail")
+	}
+}
+
+func TestEvaluateDefault(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{Fragments: 4, Sites: 2, Seed: 3})
+	ans, err := c.Evaluate(`//broker[//stock/code = "GOOG"]/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"CIBC", "Etrade"}
+	if got := values(ans); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestQueryAllAlgorithms(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{Fragments: 3, Seed: 5})
+	for _, algo := range []string{"pax2", "pax3", "naive", "PaX2"} {
+		ans, stats, err := c.Query("client/name", QueryOptions{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if got := values(ans); strings.Join(got, ",") != "Anna,Lisa" {
+			t.Errorf("%s: %v", algo, got)
+		}
+		if stats.TotalFrags != c.Fragments() {
+			t.Errorf("%s: stats %+v", algo, stats)
+		}
+	}
+	if _, _, err := c.Query("x", QueryOptions{Algorithm: "quantum"}); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+	if _, _, err := c.Query("][", QueryOptions{}); err == nil {
+		t.Error("bad query must fail")
+	}
+}
+
+func TestCutPaths(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{CutPaths: []string{"//broker", "//market"}})
+	// 2 brokers + 3 markets + root = 6 fragments.
+	if c.Fragments() != 6 {
+		t.Errorf("fragments = %d want 6", c.Fragments())
+	}
+	ans, err := c.Evaluate("//stock/code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 3 {
+		t.Errorf("answers = %v", ans)
+	}
+}
+
+func TestCutPathsBadQuery(t *testing.T) {
+	doc, _ := ParseDocumentString(clienteleXML)
+	if _, err := NewCluster(doc, ClusterOptions{CutPaths: []string{"]["}}); err == nil {
+		t.Error("bad cut path must fail")
+	}
+}
+
+func TestCutPathsRootIgnored(t *testing.T) {
+	// Selecting the root as a cut point is silently skipped.
+	c := demoCluster(t, ClusterOptions{CutPaths: []string{"/clientele", "//broker"}})
+	if c.Fragments() != 3 {
+		t.Errorf("fragments = %d want 3", c.Fragments())
+	}
+}
+
+func TestMaxFragmentNodes(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{MaxFragmentNodes: 12})
+	if c.Fragments() < 2 {
+		t.Errorf("size-based fragmentation produced %d fragments", c.Fragments())
+	}
+	ans, err := c.Evaluate("client/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Errorf("answers = %v", ans)
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{Fragments: 3, Sites: 2, Transport: TransportTCP, Seed: 9})
+	ans, stats, err := c.Query(`//stock[buy/val() > 380]/code`, QueryOptions{Algorithm: "pax2", Annotations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := values(ans); strings.Join(got, ",") != "GOOG" {
+		t.Errorf("got %v", got)
+	}
+	if stats.MaxSiteVisits > 2 {
+		t.Errorf("PaX2 visits = %d", stats.MaxSiteVisits)
+	}
+	// The one-visit Boolean protocol also runs over TCP.
+	ok, err := c.EvaluateBool(`[//stock/code = "IBM"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("IBM exists")
+	}
+}
+
+func TestShipXMLOption(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{Fragments: 3, Seed: 2})
+	ans, _, err := c.Query(`//stock[code = "IBM"]`, QueryOptions{ShipXML: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || !strings.Contains(ans[0].XML, "<code>IBM</code>") {
+		t.Errorf("answers = %+v", ans)
+	}
+}
+
+func TestEvaluateBool(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{Fragments: 4, Seed: 7})
+	got, err := c.EvaluateBool(`[//stock/code = "GOOG"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("GOOG exists")
+	}
+	got, err = c.EvaluateBool(`[//stock/code = "MSFT"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("MSFT does not exist")
+	}
+	if _, err := c.EvaluateBool("]["); err == nil {
+		t.Error("bad query must fail")
+	}
+}
+
+func TestEvaluateCentralized(t *testing.T) {
+	doc, _ := ParseDocumentString(clienteleXML)
+	ans, err := EvaluateCentralized(doc, `client[country = "US"]/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || ans[0].Value != "Anna" {
+		t.Errorf("answers = %+v", ans)
+	}
+	if _, err := EvaluateCentralized(doc, "]["); err == nil {
+		t.Error("bad query must fail")
+	}
+}
+
+func TestCompileCheckAndNormalForm(t *testing.T) {
+	if err := CompileCheck("//a[b]/c"); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := CompileCheck("]["); err == nil {
+		t.Error("invalid query accepted")
+	}
+	nf, err := NormalForm(`client[country/text() = "us"]/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nf, "ε[country") {
+		t.Errorf("normal form = %q", nf)
+	}
+	if _, err := NormalForm("]["); err == nil {
+		t.Error("invalid query accepted by NormalForm")
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{Fragments: 4, Seed: 11})
+	_, stats, err := c.Query(`//broker[//stock/code = "GOOG"]/name`, QueryOptions{Algorithm: "pax3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Algorithm != "PaX3" || stats.MaxSiteVisits > 3 || stats.Stages > 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.BytesSent <= 0 || stats.BytesReceived <= 0 || stats.Wall <= 0 {
+		t.Errorf("cost counters not positive: %+v", stats)
+	}
+}
