@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check build vet test test-race bench
+
+# The tier-1 verification gate: everything must compile, vet clean and pass.
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -1,0 +1,3 @@
+module paxq
+
+go 1.24

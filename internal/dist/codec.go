@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Register makes a concrete request or response type known to the codec.
+// Every value passed through Call or returned by a Handler must have its
+// type registered (gob interface encoding); registering the same type
+// again is a no-op, while registering a different type under an
+// already-taken name panics, exactly as encoding/gob does.
+func Register(msg any) {
+	gob.Register(msg)
+}
+
+// reqEnvelope is the payload of a request frame.
+type reqEnvelope struct {
+	Req any
+}
+
+// respEnvelope is the payload of a response frame. Exactly one of Resp and
+// Err is meaningful; ComputeNanos is the handler's wall time at the site.
+type respEnvelope struct {
+	Resp         any
+	Err          string
+	ComputeNanos int64
+}
+
+// frameHeader is the size of the length prefix preceding every payload.
+const frameHeader = 4
+
+// maxFrame bounds a single message; larger frames indicate a corrupt or
+// hostile stream and abort the connection.
+const maxFrame = 1 << 30
+
+// encodePayload gob-encodes v with a fresh encoder, so the resulting
+// payload is self-contained.
+func encodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("dist: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePayload decodes a self-contained gob payload into v.
+func decodePayload(p []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(v); err != nil {
+		return fmt.Errorf("dist: decode: %w", err)
+	}
+	return nil
+}
+
+// writeFrame writes one length-prefixed payload. It returns the total
+// bytes put on the wire (header + payload). Payloads over maxFrame are
+// rejected up front — the receiver would drop the connection after the
+// bytes were shipped, and beyond 4 GiB the length prefix itself would
+// wrap and desynchronize the stream.
+// Header and payload go out in a single Write: sockets default to
+// TCP_NODELAY, so separate writes would flush the 4-byte header as its
+// own segment.
+func writeFrame(w io.Writer, payload []byte) (int64, error) {
+	if len(payload) > maxFrame {
+		return 0, fmt.Errorf("dist: frame of %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[frameHeader:], payload)
+	if _, err := w.Write(frame); err != nil {
+		return 0, err
+	}
+	return int64(len(frame)), nil
+}
+
+// readFrame reads one length-prefixed payload and the total bytes taken
+// off the wire.
+func readFrame(r io.Reader) ([]byte, int64, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, 0, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, err
+	}
+	return payload, frameHeader + int64(n), nil
+}

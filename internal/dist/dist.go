@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SiteID identifies one site of the cluster.
+type SiteID int32
+
+// Handler serves one site: it receives a request value and returns the
+// response value or an error. The transport delivers the error to the
+// caller; it never terminates the site.
+type Handler func(req any) (any, error)
+
+// Transport is the coordinator's view of the cluster: synchronous
+// request/response calls to sites, plus the cumulative cost counters the
+// engine turns into the paper's Stats.
+type Transport interface {
+	// Call sends req to the site and returns its response. A handler
+	// error is returned as-is; transport failures are reported with the
+	// site identified.
+	Call(to SiteID, req any) (any, error)
+	// Metrics returns the transport's counters. The same instance is
+	// returned for the transport's lifetime.
+	Metrics() *Metrics
+	// Close releases transport resources. The transport is unusable
+	// afterwards.
+	Close() error
+}
+
+// invokeHandler runs a site handler, converting a panic into an error so
+// one bad request can neither take a TCP site down nor crash an
+// in-process cluster — both transports degrade to a failed call.
+func invokeHandler(h Handler, req any) (resp any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dist: handler panic: %v", r)
+		}
+	}()
+	return h(req)
+}
+
+// Broadcast issues one Call per site concurrently and collects the
+// responses by site. The request maker mk runs sequentially over sites in
+// the given order before any call is issued; a nil request skips the site.
+// When several calls fail, the error reported is the failing site's that
+// comes first in sites — deterministic regardless of goroutine scheduling.
+// Errors are returned as Call produced them: transport errors already
+// identify the site, and pax handler errors identify it themselves.
+func Broadcast(tr Transport, sites []SiteID, mk func(SiteID) any) (map[SiteID]any, error) {
+	type call struct {
+		site SiteID
+		req  any
+	}
+	calls := make([]call, 0, len(sites))
+	for _, id := range sites {
+		if req := mk(id); req != nil {
+			calls = append(calls, call{id, req})
+		}
+	}
+	resps := make([]any, len(calls))
+	errs := make([]error, len(calls))
+	var wg sync.WaitGroup
+	for i, c := range calls {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resps[i], errs[i] = tr.Call(c.site, c.req)
+		}()
+	}
+	wg.Wait()
+	out := make(map[SiteID]any, len(calls))
+	for i, c := range calls {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[c.site] = resps[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+// Package dist is the cluster communication subsystem the pax engine sits
+// on: a request/response transport between one coordinator and a set of
+// numbered sites, with metering accurate enough to derive the paper's cost
+// profile (bytes shipped, per-site computation, per-site visit counts)
+// directly from the transport.
+//
+// # Contract
+//
+// A site is addressed by a SiteID and served by a Handler — a function
+// taking one request value and returning one response value or an error.
+// The coordinator holds a Transport and issues Call(site, req) round trips;
+// Broadcast fans a stage out over many sites concurrently. Both sides
+// exchange ordinary Go values; every concrete request and response type
+// must be made known to the codec with Register (typically from an init
+// function, as internal/pax does for its stage messages).
+//
+// Two implementations exist with identical semantics:
+//
+//   - Local: sites are handlers in the same process. Calls are direct
+//     function invocations, but requests and responses are still passed
+//     through the wire codec to meter their encoded size, so byte counts
+//     match what the TCP transport would ship. A FaultHook allows tests to
+//     inject per-call network faults.
+//   - TCP: each site is a TCPServer; the TCP client dials the configured
+//     address map and keeps a pool of idle connections per site.
+//
+// # Wire format
+//
+// Every message is one frame: a 4-byte big-endian length n followed by n
+// bytes of payload, where the payload is a self-contained gob stream (a
+// fresh encoder per frame, so frames can be decoded independently of
+// connection history). A request frame carries reqEnvelope{Req}; a response
+// frame carries respEnvelope{Resp, Err, ComputeNanos}. A handler error
+// travels back as Err and is surfaced by Call as an error; ComputeNanos is
+// the handler's wall time at the site, which the client accounts to that
+// site's Metrics so ComputeAt reflects remote computation, not network
+// latency.
+//
+// # Metrics
+//
+// Transport.Metrics returns the transport's cumulative counters since the
+// last Reset: bytes sent and received (frame payload plus length prefix,
+// measured on the wire for TCP and via encoded size for Local), per-site
+// handler wall time, and per-site visit (call) counts. The engine derives
+// Stats — BytesSent, ParallelCompute, MaxSiteVisits — from these, so a
+// call is counted exactly once per completed round trip.
+package dist

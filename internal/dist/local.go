@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Local is the in-process transport: every site is a Handler in the same
+// address space. Calls invoke the handler directly but still run request
+// and response through the wire codec so byte counts match a TCP
+// deployment of the same cluster.
+type Local struct {
+	// FaultHook, when set, runs before each call and can fail it —
+	// simulating an unreachable site or a dropped message. Set it only
+	// while no calls are in flight.
+	FaultHook func(to SiteID, req any) error
+
+	mu       sync.RWMutex
+	handlers map[SiteID]Handler
+	m        *Metrics
+}
+
+// NewLocal creates an empty in-process cluster.
+func NewLocal() *Local {
+	return &Local{handlers: make(map[SiteID]Handler), m: newMetrics()}
+}
+
+// AddSite registers the handler serving a site, replacing any previous
+// handler for the same ID.
+func (l *Local) AddSite(id SiteID, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.handlers[id] = h
+}
+
+// Call delivers req to the site's handler and meters the round trip.
+func (l *Local) Call(to SiteID, req any) (any, error) {
+	l.mu.RLock()
+	h, ok := l.handlers[to]
+	l.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown site %d", to)
+	}
+	if hook := l.FaultHook; hook != nil {
+		if err := hook(to, req); err != nil {
+			return nil, err
+		}
+	}
+	reqPayload, err := encodePayload(reqEnvelope{Req: req})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	resp, herr := invokeHandler(h, req)
+	compute := time.Since(start)
+	env := respEnvelope{ComputeNanos: int64(compute)}
+	if herr != nil {
+		env.Err = herr.Error()
+	} else {
+		env.Resp = resp
+	}
+	respPayload, err := encodePayload(env)
+	if err != nil {
+		// Mirror the TCP server: an unencodable response travels back as
+		// an error envelope — the handler did run, so the visit and its
+		// computation are still metered.
+		herr = err
+		env = respEnvelope{Err: err.Error(), ComputeNanos: env.ComputeNanos}
+		if respPayload, err = encodePayload(env); err != nil {
+			return nil, err
+		}
+	}
+	l.m.record(to, frameHeader+int64(len(reqPayload)), frameHeader+int64(len(respPayload)), compute)
+	if herr != nil {
+		return nil, herr
+	}
+	return resp, nil
+}
+
+// Metrics returns the transport's counters.
+func (l *Local) Metrics() *Metrics { return l.m }
+
+// Close is a no-op for the in-process transport.
+func (l *Local) Close() error { return nil }

@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics accumulates a transport's cost counters: wire bytes in both
+// directions, per-site handler computation time, and per-site visit
+// counts. All methods are safe for concurrent use; a Broadcast updates the
+// counters from many goroutines at once.
+type Metrics struct {
+	mu      sync.Mutex
+	sent    int64
+	recv    int64
+	compute map[SiteID]time.Duration
+	visits  map[SiteID]int
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		compute: make(map[SiteID]time.Duration),
+		visits:  make(map[SiteID]int),
+	}
+}
+
+// Bytes returns the cumulative bytes sent to and received from sites since
+// the last Reset, including framing overhead.
+func (m *Metrics) Bytes() (sent, recv int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sent, m.recv
+}
+
+// ComputeAt returns the cumulative handler wall time at one site since the
+// last Reset.
+func (m *Metrics) ComputeAt(site SiteID) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compute[site]
+}
+
+// TotalCompute returns the handler wall time summed over all sites — the
+// paper's total computation cost.
+func (m *Metrics) TotalCompute() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total time.Duration
+	for _, d := range m.compute {
+		total += d
+	}
+	return total
+}
+
+// MaxVisits returns the maximum number of calls any single site received
+// since the last Reset — the paper's visit bound (≤3 for PaX3, ≤2 for
+// PaX2).
+func (m *Metrics) MaxVisits() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	max := 0
+	for _, n := range m.visits {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Reset zeroes every counter.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sent, m.recv = 0, 0
+	clear(m.compute)
+	clear(m.visits)
+}
+
+// record accounts one completed round trip: its wire bytes, the handler
+// time at the site, and one visit.
+func (m *Metrics) record(site SiteID, sent, recv int64, compute time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sent += sent
+	m.recv += recv
+	m.compute[site] += compute
+	m.visits[site]++
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package dist
+
+import "net"
+
+// staleConn has no portable non-blocking probe on this platform; pooled
+// connections are trusted and a stale one fails its next call instead
+// (the call is not retried — delivery stays at most once).
+func staleConn(net.Conn) bool { return false }

@@ -1,0 +1,42 @@
+//go:build unix
+
+package dist
+
+import (
+	"net"
+	"syscall"
+)
+
+// staleConn reports whether an idle pooled connection was dropped by its
+// peer (site restart, network reset) without blocking and without
+// consuming stream data. Sites never send unsolicited frames, so a
+// readable idle connection is either at EOF, reset, or corrupt — all
+// stale. A healthy idle connection yields EAGAIN on a non-blocking read.
+// Probing before the request is written keeps delivery at most once:
+// requests are never retried, so a lost response can never make a site
+// execute a stage twice.
+func staleConn(conn net.Conn) bool {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return true
+	}
+	stale := false
+	rerr := raw.Read(func(fd uintptr) bool {
+		var b [1]byte
+		n, _, errno := syscall.Recvfrom(int(fd), b[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case n > 0:
+			stale = true // unsolicited data: protocol violation
+		case errno == syscall.EAGAIN || errno == syscall.EWOULDBLOCK:
+			// healthy idle connection
+		default:
+			stale = true // EOF (n == 0) or a real error
+		}
+		return true // probe once; never wait for readability
+	})
+	return stale || rerr != nil
+}

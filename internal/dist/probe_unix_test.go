@@ -1,0 +1,58 @@
+//go:build unix
+
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// On !unix the staleness probe is a no-op (probe_other.go): the dead
+// pooled connection fails its one call instead of being replaced, so this
+// recovery behavior only holds where the probe exists.
+func TestTCPStalePooledConnRedials(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0", echoHandler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	tr := NewTCP(map[SiteID]string{1: addr})
+	defer tr.Close()
+	if _, err := tr.Call(1, &echoReq{Payload: "warm"}); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the site on the same address: the pooled connection is now
+	// dead; the staleness probe must discard it and dial fresh — without
+	// ever re-sending a request on the dead connection.
+	srv.Close()
+	srv2, err := NewTCPServer(addr, echoHandler(1))
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	// Wait until the FIN has reached the pooled connection so the probe's
+	// verdict is deterministic (MSG_PEEK consumes nothing, so re-probing
+	// here is harmless).
+	tr.mu.Lock()
+	pooled := tr.idle[1][0]
+	tr.mu.Unlock()
+	for deadline := time.Now().Add(5 * time.Second); !staleConn(pooled); {
+		if time.Now().After(deadline) {
+			t.Fatal("pooled connection never went stale after server close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := tr.Call(1, &echoReq{Payload: "after-restart"})
+	if err != nil {
+		t.Fatalf("call after site restart: %v", err)
+	}
+	if r, ok := resp.(*echoResp); !ok || r.Payload != "after-restart" {
+		t.Fatalf("got %#v", resp)
+	}
+	tr.mu.Lock()
+	pool, active := len(tr.idle[1]), len(tr.active)
+	tr.mu.Unlock()
+	if pool != 1 || active != 0 {
+		t.Errorf("pool = %d active = %d after redial, want 1/0", pool, active)
+	}
+}

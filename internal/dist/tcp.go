@@ -1,0 +1,297 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPServer serves one site's Handler over TCP: it accepts connections and
+// answers request frames with response frames, one at a time per
+// connection. Handler errors (and panics) are propagated to the caller in
+// the response envelope; the connection stays usable.
+type TCPServer struct {
+	ln net.Listener
+	h  Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewTCPServer listens on addr (e.g. "127.0.0.1:0") and serves h.
+func NewTCPServer(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{ln: ln, h: h, conns: make(map[net.Conn]struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address, usable in the address map of
+// NewTCP.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and severs every open connection, including those
+// with a request in flight — their callers see a transport error. It does
+// not wait for running handlers to return.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return // Close tore the listener down
+			}
+			// Transient accept failure (e.g. fd exhaustion): back off and
+			// keep serving rather than silently abandoning the listener.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		payload, _, err := readFrame(conn)
+		if err != nil {
+			return // client went away, or Close severed us
+		}
+		var req reqEnvelope
+		env := respEnvelope{}
+		if err := decodePayload(payload, &req); err != nil {
+			env.Err = err.Error()
+		} else {
+			start := time.Now()
+			resp, herr := invokeHandler(s.h, req.Req)
+			env.ComputeNanos = int64(time.Since(start))
+			if herr != nil {
+				env.Err = herr.Error()
+			} else {
+				env.Resp = resp
+			}
+		}
+		out, err := encodePayload(env)
+		if err != nil {
+			// The handler produced an unencodable response; report that
+			// instead of dropping the connection.
+			out, err = encodePayload(respEnvelope{Err: err.Error(), ComputeNanos: env.ComputeNanos})
+			if err != nil {
+				return
+			}
+		}
+		if _, err := writeFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// TCP is the client transport: it connects to one TCPServer per site as
+// listed in the address map, pooling idle connections per site.
+//
+// Delivery is at most once: a request is never resent, so a site handler
+// can never observe the same stage request twice. A pooled connection
+// that the site dropped while idle (site restart) is detected with a
+// non-blocking probe before the request is written and replaced by a
+// fresh dial; a connection that dies mid-call fails that call.
+type TCP struct {
+	addrs map[SiteID]string
+	m     *Metrics
+
+	mu     sync.Mutex
+	idle   map[SiteID][]net.Conn
+	active map[net.Conn]struct{}
+	closed bool
+}
+
+// NewTCP creates a client for a cluster of TCP sites. Connections are
+// dialed lazily on first use.
+func NewTCP(addrs map[SiteID]string) *TCP {
+	t := &TCP{
+		addrs:  make(map[SiteID]string, len(addrs)),
+		m:      newMetrics(),
+		idle:   make(map[SiteID][]net.Conn),
+		active: make(map[net.Conn]struct{}),
+	}
+	for id, a := range addrs {
+		t.addrs[id] = a
+	}
+	return t
+}
+
+// Metrics returns the transport's counters.
+func (t *TCP) Metrics() *Metrics { return t.m }
+
+// Close drops every connection, idle and in flight; calls in flight fail
+// with a transport error.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.active))
+	for _, idle := range t.idle {
+		conns = append(conns, idle...)
+	}
+	for c := range t.active {
+		conns = append(conns, c)
+	}
+	t.idle = make(map[SiteID][]net.Conn)
+	t.active = make(map[net.Conn]struct{})
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// popIdle checks one pooled connection out for the site, or nil.
+func (t *TCP) popIdle(to SiteID) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("dist: transport closed")
+	}
+	conns := t.idle[to]
+	if len(conns) == 0 {
+		return nil, nil
+	}
+	conn := conns[len(conns)-1]
+	t.idle[to] = conns[:len(conns)-1]
+	t.active[conn] = struct{}{}
+	return conn, nil
+}
+
+// getConn returns a healthy connection for the site: a pooled one that
+// passes the staleness probe, else a fresh dial.
+func (t *TCP) getConn(to SiteID) (net.Conn, error) {
+	for {
+		conn, err := t.popIdle(to)
+		if err != nil {
+			return nil, err
+		}
+		if conn == nil {
+			break
+		}
+		if staleConn(conn) {
+			t.dropConn(conn)
+			continue
+		}
+		return conn, nil
+	}
+	t.mu.Lock()
+	addr := t.addrs[to]
+	t.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("dist: unknown site %d", to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial site %d (%s): %w", to, addr, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, errors.New("dist: transport closed")
+	}
+	t.active[conn] = struct{}{}
+	t.mu.Unlock()
+	return conn, nil
+}
+
+// putConn returns a connection to the idle pool.
+func (t *TCP) putConn(to SiteID, conn net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.active, conn)
+	if t.closed {
+		conn.Close()
+		return
+	}
+	t.idle[to] = append(t.idle[to], conn)
+}
+
+// dropConn discards a connection that failed or went stale.
+func (t *TCP) dropConn(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.active, conn)
+	t.mu.Unlock()
+	conn.Close()
+}
+
+// Call performs one round trip to the site. Handler errors come back as
+// plain errors; transport errors identify the site. Metrics are updated
+// once per completed round trip with the bytes actually put on the wire
+// and the handler time the server reported.
+func (t *TCP) Call(to SiteID, req any) (any, error) {
+	payload, err := encodePayload(reqEnvelope{Req: req})
+	if err != nil {
+		return nil, err
+	}
+	conn, err := t.getConn(to)
+	if err != nil {
+		return nil, err
+	}
+	env, sent, recvd, err := roundTrip(conn, payload)
+	if err != nil {
+		t.dropConn(conn)
+		return nil, fmt.Errorf("dist: site %d: %w", to, err)
+	}
+	t.putConn(to, conn)
+	t.m.record(to, sent, recvd, time.Duration(env.ComputeNanos))
+	if env.Err != "" {
+		return nil, errors.New(env.Err)
+	}
+	return env.Resp, nil
+}
+
+// roundTrip writes the request frame and reads the response frame.
+func roundTrip(conn net.Conn, payload []byte) (env respEnvelope, sent, recvd int64, err error) {
+	if sent, err = writeFrame(conn, payload); err != nil {
+		return env, 0, 0, err
+	}
+	respPayload, recvd, err := readFrame(conn)
+	if err != nil {
+		return env, 0, 0, err
+	}
+	if err := decodePayload(respPayload, &env); err != nil {
+		return env, 0, 0, err
+	}
+	return env, sent, recvd, nil
+}

@@ -1,0 +1,259 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tcpCluster starts echo servers for the sites and a connected client.
+func tcpCluster(t *testing.T, sites ...SiteID) (*TCP, []*TCPServer) {
+	t.Helper()
+	addrs := make(map[SiteID]string, len(sites))
+	var servers []*TCPServer
+	for _, id := range sites {
+		srv, err := NewTCPServer("127.0.0.1:0", echoHandler(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		servers = append(servers, srv)
+		addrs[id] = srv.Addr()
+	}
+	tr := NewTCP(addrs)
+	t.Cleanup(func() { tr.Close() })
+	return tr, servers
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tr, _ := tcpCluster(t, 1, 2)
+	for i := 0; i < 3; i++ { // repeated calls exercise the connection pool
+		for _, id := range []SiteID{1, 2} {
+			resp, err := tr.Call(id, &echoReq{Payload: "ping"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, ok := resp.(*echoResp)
+			if !ok || r.Payload != "ping" || r.Site != id {
+				t.Fatalf("site %d call %d: %#v", id, i, resp)
+			}
+		}
+	}
+	tr.mu.Lock()
+	pool := len(tr.idle[1])
+	tr.mu.Unlock()
+	if pool != 1 {
+		t.Errorf("idle pool for site 1 holds %d conns, want 1 (reuse)", pool)
+	}
+}
+
+func TestTCPServerErrorPropagation(t *testing.T) {
+	tr, _ := tcpCluster(t, 1)
+	_, err := tr.Call(1, &echoReq{Payload: "fail:no such fragment"})
+	if err == nil || !strings.Contains(err.Error(), "no such fragment") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection survives a handler error.
+	if _, err := tr.Call(1, &echoReq{Payload: "ok"}); err != nil {
+		t.Fatalf("call after handler error: %v", err)
+	}
+}
+
+func TestTCPHandlerPanicBecomesError(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0", func(req any) (any, error) { panic("boom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
+	defer tr.Close()
+	if _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPUnknownSiteAndDialFailure(t *testing.T) {
+	tr := NewTCP(map[SiteID]string{1: "127.0.0.1:1"}) // nothing listens on port 1
+	defer tr.Close()
+	if _, err := tr.Call(5, &echoReq{}); err == nil || !strings.Contains(err.Error(), "unknown site") {
+		t.Fatalf("unknown site err = %v", err)
+	}
+	if _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "site 1") {
+		t.Fatalf("dial err = %v", err)
+	}
+}
+
+func TestTCPWireMetrics(t *testing.T) {
+	tr, _ := tcpCluster(t, 1)
+	m := tr.Metrics()
+	if _, err := tr.Call(1, &echoReq{Payload: "abc"}); err != nil {
+		t.Fatal(err)
+	}
+	sent1, recv1 := m.Bytes()
+	if sent1 <= frameHeader || recv1 <= frameHeader {
+		t.Fatalf("bytes = %d/%d", sent1, recv1)
+	}
+	// A larger payload ships more bytes; the delta reflects wire size.
+	big := strings.Repeat("x", 4096)
+	if _, err := tr.Call(1, &echoReq{Payload: big}); err != nil {
+		t.Fatal(err)
+	}
+	sent2, recv2 := m.Bytes()
+	if sent2-sent1 < 4096 || recv2-recv1 < 4096 {
+		t.Errorf("4KB payload grew bytes by %d/%d", sent2-sent1, recv2-recv1)
+	}
+	if m.MaxVisits() != 2 {
+		t.Errorf("MaxVisits = %d, want 2", m.MaxVisits())
+	}
+}
+
+func TestTCPComputeAtReportsServerTime(t *testing.T) {
+	srv, err := NewTCPServer("127.0.0.1:0", func(req any) (any, error) {
+		time.Sleep(2 * time.Millisecond)
+		return &echoResp{Site: 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
+	defer tr.Close()
+	if _, err := tr.Call(1, &echoReq{}); err != nil {
+		t.Fatal(err)
+	}
+	c1 := tr.Metrics().ComputeAt(1)
+	if c1 < 2*time.Millisecond {
+		t.Errorf("ComputeAt = %v, want >= server handler time", c1)
+	}
+	if _, err := tr.Call(1, &echoReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if c2 := tr.Metrics().ComputeAt(1); c2 <= c1 {
+		t.Errorf("ComputeAt not monotonic: %v -> %v", c1, c2)
+	}
+}
+
+func TestTCPServerCloseWhileInflight(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	srv, err := NewTCPServer("127.0.0.1:0", func(req any) (any, error) {
+		started <- struct{}{}
+		<-block
+		return &echoResp{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(block)
+	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
+	defer tr.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.Call(1, &echoReq{Payload: "inflight"})
+		done <- err
+	}()
+	<-started // the request has reached the handler
+	srv.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call survived server close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call did not fail after server close")
+	}
+}
+
+func TestTCPClientCloseUnblocksInflightCall(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	srv, err := NewTCPServer("127.0.0.1:0", func(req any) (any, error) {
+		started <- struct{}{}
+		<-block
+		return &echoResp{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(block)
+	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.Call(1, &echoReq{})
+		done <- err
+	}()
+	<-started
+	tr.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("in-flight call survived client Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client Close did not unblock the in-flight call")
+	}
+}
+
+func TestUnencodableResponseMetersVisitOnBothTransports(t *testing.T) {
+	// A handler returning an unregistered type fails the call on both
+	// transports, but the handler did run: the visit must be metered
+	// identically so Local and TCP derive the same Stats.
+	bad := func(req any) (any, error) { return &unregistered{X: 7}, nil }
+
+	l := NewLocal()
+	defer l.Close()
+	l.AddSite(1, bad)
+	if _, err := l.Call(1, &echoReq{}); err == nil {
+		t.Fatal("Local: unencodable response must fail the call")
+	}
+	if v := l.Metrics().MaxVisits(); v != 1 {
+		t.Errorf("Local MaxVisits = %d, want 1", v)
+	}
+
+	srv, err := NewTCPServer("127.0.0.1:0", bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
+	defer tr.Close()
+	if _, err := tr.Call(1, &echoReq{}); err == nil {
+		t.Fatal("TCP: unencodable response must fail the call")
+	}
+	if v := tr.Metrics().MaxVisits(); v != 1 {
+		t.Errorf("TCP MaxVisits = %d, want 1", v)
+	}
+}
+
+func TestTCPClientCloseFailsCalls(t *testing.T) {
+	tr, _ := tcpCluster(t, 1)
+	if _, err := tr.Call(1, &echoReq{}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	if _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPBroadcast(t *testing.T) {
+	sites := []SiteID{0, 1, 2}
+	tr, _ := tcpCluster(t, sites...)
+	resps, err := Broadcast(tr, sites, func(id SiteID) any {
+		return &echoReq{Payload: "stage"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != len(sites) {
+		t.Fatalf("%d responses, want %d", len(resps), len(sites))
+	}
+	for _, id := range sites {
+		if r := resps[id].(*echoResp); r.Site != id {
+			t.Errorf("site %d answered as %d", id, r.Site)
+		}
+	}
+}
