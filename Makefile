@@ -2,8 +2,9 @@ GO ?= go
 
 .PHONY: check build vet test test-race bench
 
-# The tier-1 verification gate: everything must compile, vet clean and pass.
-check: build vet test
+# The tier-1 verification gate: everything must compile, vet clean, pass,
+# and stay race-free under the concurrent serving load tests.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...

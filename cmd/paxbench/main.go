@@ -9,6 +9,12 @@
 //	paxbench -exp 2 -scale 0.1 -runs 5 -csv
 //	paxbench -exp queries
 //
+// The concurrent mode benchmarks the multi-query serving layer: N workers
+// evaluate the paper's queries simultaneously over a TCP deployment, and
+// every single Result is checked against the per-query visit bound:
+//
+//	paxbench -exp concurrent -workers 8 -load 25 -scale 0.05
+//
 // -scale is the dataset size relative to the paper's 100 MB baseline
 // (0.05 → 5 MB cumulative).
 package main
@@ -30,6 +36,8 @@ func main() {
 	frags := flag.Int("frags", 10, "experiment 1 max fragments")
 	seed := flag.Int64("seed", 1, "generator seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	workers := flag.Int("workers", 8, "concurrent mode: parallel query streams")
+	load := flag.Int("load", 25, "concurrent mode: queries per worker")
 	flag.Parse()
 
 	cfg := harness.Config{Scale: *scale, MaxFrags: *frags, Steps: *steps, Runs: *runs, Seed: *seed}
@@ -83,6 +91,18 @@ func main() {
 		}
 		fmt.Println()
 	}
+	runConcurrent := func() {
+		rep, err := harness.ConcurrentLoad(cfg, *workers, *load)
+		if rep != nil {
+			fmt.Println(rep)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if rep.Violations > 0 {
+			fatal(fmt.Errorf("%d queries exceeded the per-query visit bound", rep.Violations))
+		}
+	}
 	runQueries := func() {
 		fmt.Println("Fig. 7 — experiment queries:")
 		names := make([]string, 0, len(harness.PaperQueries))
@@ -105,6 +125,8 @@ func main() {
 		run23(false, true)
 	case "traffic":
 		runTraffic()
+	case "concurrent":
+		runConcurrent()
 	case "t2":
 		runT2()
 	case "queries":

@@ -1,0 +1,103 @@
+// Command paxserve is the multi-query serving layer: it fragments a
+// document over a cluster once at startup and then serves XPath queries
+// over HTTP/JSON, evaluating any number of them concurrently with the
+// paper's per-query guarantees intact (each response's stats — visit
+// counts, bytes, computation — cover that query alone).
+//
+// Serve an XML file fragmented four ways over two in-process sites:
+//
+//	paxserve -addr :8377 -file data.xml -frags 4 -sites 2
+//
+// Serve a generated XMark document over real TCP sites on loopback:
+//
+//	paxserve -xmark-mb 5 -sites 4 -tcp
+//
+// Query it:
+//
+//	curl 'localhost:8377/query?q=//person/name'
+//	curl -d '{"query":"//broker[//stock/code = \"GOOG\"]/name","algorithm":"pax3"}' localhost:8377/query
+//	curl localhost:8377/healthz
+//	curl localhost:8377/statsz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"paxq"
+)
+
+func main() {
+	addr := flag.String("addr", ":8377", "HTTP listen address")
+	file := flag.String("file", "", "XML document to serve")
+	xmarkMB := flag.Float64("xmark-mb", 0, "generate an XMark document of ~this many MB instead of -file")
+	xmarkSites := flag.Int("xmark-sites", 4, "XMark site subtrees when generating")
+	frags := flag.Int("frags", 4, "number of random fragments")
+	var cuts multiFlag
+	flag.Var(&cuts, "cut", "XPath selecting cut elements (repeatable; overrides -frags)")
+	maxNodes := flag.Int("max-nodes", 0, "size-based fragmentation cap (overrides -frags)")
+	sites := flag.Int("sites", 0, "number of sites (default one per fragment)")
+	tcp := flag.Bool("tcp", false, "deploy sites as TCP servers on loopback instead of in-process")
+	seed := flag.Int64("seed", 1, "fragmentation / generation seed")
+	flag.Parse()
+
+	var doc *paxq.Document
+	switch {
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err = paxq.ParseDocument(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *xmarkMB > 0:
+		doc = paxq.GenerateXMark(*xmarkSites, *xmarkMB, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "paxserve: one of -file or -xmark-mb is required")
+		os.Exit(2)
+	}
+
+	transport := paxq.TransportLocal
+	if *tcp {
+		transport = paxq.TransportTCP
+	}
+	cluster, err := paxq.NewCluster(doc, paxq.ClusterOptions{
+		Fragments:        *frags,
+		CutPaths:         cuts,
+		MaxFragmentNodes: *maxNodes,
+		Sites:            *sites,
+		Transport:        transport,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Close()
+
+	log.Printf("paxserve: %d nodes, %d fragments over %d sites (tcp=%v), listening on %s",
+		doc.Nodes(), cluster.Fragments(), cluster.Sites(), *tcp, *addr)
+	srv := newServer(cluster)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "paxserve: %v\n", err)
+	os.Exit(1)
+}

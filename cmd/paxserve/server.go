@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"paxq"
+)
+
+// server wires a Cluster to HTTP. The Cluster is safe for concurrent
+// evaluation, so requests are served directly on net/http's per-connection
+// goroutines — the cluster is the serving layer, the server only
+// translates.
+type server struct {
+	cluster *paxq.Cluster
+	started time.Time
+
+	queries atomic.Int64 // completed evaluations
+	errors  atomic.Int64 // failed evaluations (bad query, site failure)
+}
+
+// queryRequest is the POST /query body. GET /query?q=... fills only Query
+// and takes the defaults.
+type queryRequest struct {
+	Query string `json:"query"`
+	// Algorithm: "pax2" (default), "pax3" or "naive".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Annotations toggles the §5 pruning optimization; defaults to true.
+	Annotations *bool `json:"annotations,omitempty"`
+	// ShipXML returns serialized answer subtrees.
+	ShipXML bool `json:"shipxml,omitempty"`
+}
+
+// queryResponse is the /query response body.
+type queryResponse struct {
+	Answers []paxq.Answer `json:"answers"`
+	Stats   *paxq.Stats   `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func newServer(cluster *paxq.Cluster) *server {
+	return &server{cluster: cluster, started: time.Now()}
+}
+
+// handler returns the server's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Query = r.URL.Query().Get("q")
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET /query?q=... or POST /query"})
+		return
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
+		return
+	}
+	switch strings.ToLower(req.Algorithm) {
+	case "", "pax2", "pax3", "naive":
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown algorithm %q (want pax2, pax3 or naive)", req.Algorithm)})
+		return
+	}
+	annotations := true
+	if req.Annotations != nil {
+		annotations = *req.Annotations
+	}
+	answers, stats, err := s.cluster.Query(req.Query, paxq.QueryOptions{
+		Algorithm:   req.Algorithm,
+		Annotations: annotations,
+		ShipXML:     req.ShipXML,
+	})
+	if err != nil {
+		s.errors.Add(1)
+		status := http.StatusBadRequest
+		if paxq.CompileCheck(req.Query) == nil {
+			status = http.StatusBadGateway // valid request, cluster-side failure
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	s.queries.Add(1)
+	if answers == nil {
+		answers = []paxq.Answer{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{Answers: answers, Stats: stats})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"fragments": s.cluster.Fragments(),
+		"sites":     s.cluster.Sites(),
+	})
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.started)
+	queries := s.queries.Load()
+	qps := 0.0
+	if secs := uptime.Seconds(); secs > 0 {
+		qps = float64(queries) / secs
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries":         queries,
+		"errors":          s.errors.Load(),
+		"uptime_seconds":  uptime.Seconds(),
+		"queries_per_sec": qps,
+	})
+}

@@ -2,8 +2,10 @@ package paxq_test
 
 import (
 	"sort"
+	"sync"
 	"testing"
 
+	"paxq"
 	"paxq/internal/centeval"
 	"paxq/internal/fragment"
 	"paxq/internal/harness"
@@ -12,6 +14,16 @@ import (
 	"paxq/internal/xmltree"
 	"paxq/internal/xpath"
 )
+
+// documentOf round-trips a generated tree through the public parser.
+func documentOf(t *testing.T, tree *xmltree.Tree) *paxq.Document {
+	t.Helper()
+	doc, err := paxq.ParseDocumentString(xmltree.SerializeString(tree.Root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
 
 // TestSoakXMarkAllVariants is the repository's end-to-end soak test: a
 // realistically shaped XMark document (~60k nodes), fragmented three
@@ -132,4 +144,76 @@ func TestSoakBooleanProtocol(t *testing.T) {
 			t.Errorf("%q: %d visits", q, res.MaxVisits)
 		}
 	}
+}
+
+// TestClusterConcurrentQueries exercises the public serving contract: one
+// Cluster over the TCP transport, queried from many goroutines at once,
+// with every response's Stats covering its own query alone (visit bound
+// and deterministic request bytes both hold per query).
+func TestClusterConcurrentQueries(t *testing.T) {
+	tree := xmark.Generate(2, xmark.DefaultSite, 7)
+	doc := documentOf(t, tree)
+	cluster, err := paxq.NewCluster(doc, paxq.ClusterOptions{
+		Fragments: 6,
+		Sites:     3,
+		Transport: paxq.TransportTCP,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	queries := []string{
+		harness.Q1,
+		harness.Q2,
+		"/sites/site/regions/namerica/item/name",
+		`//person[not(creditcard)]/name`,
+	}
+	opts := paxq.QueryOptions{Algorithm: "pax3", Annotations: true}
+
+	// Solo baselines: answer counts and the (deterministic) sent bytes.
+	// Exact BytesSent equality relies on every QueryID gob-encoding to the
+	// same width, which holds while total runs on this cluster stay under
+	// 64 (4 solo + 24 concurrent here); widen tolerance before scaling up.
+	type base struct {
+		answers int
+		sent    int64
+	}
+	bases := make([]base, len(queries))
+	for i, q := range queries {
+		ans, stats, err := cluster.Query(q, opts)
+		if err != nil {
+			t.Fatalf("solo %q: %v", q, err)
+		}
+		bases[i] = base{answers: len(ans), sent: stats.BytesSent}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				qi := (w + i) % len(queries)
+				ans, stats, err := cluster.Query(queries[qi], opts)
+				if err != nil {
+					t.Errorf("worker %d %q: %v", w, queries[qi], err)
+					return
+				}
+				if len(ans) != bases[qi].answers {
+					t.Errorf("%q: %d answers, solo run had %d", queries[qi], len(ans), bases[qi].answers)
+				}
+				if stats.BytesSent != bases[qi].sent {
+					t.Errorf("%q: BytesSent = %d, solo run had %d — stats leaked across queries",
+						queries[qi], stats.BytesSent, bases[qi].sent)
+				}
+				if stats.MaxSiteVisits > 3 {
+					t.Errorf("%q: MaxSiteVisits = %d", queries[qi], stats.MaxSiteVisits)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // SiteID identifies one site of the cluster.
@@ -13,16 +14,41 @@ type SiteID int32
 // caller; it never terminates the site.
 type Handler func(req any) (any, error)
 
+// CallCost is the measured cost of one round trip: wire bytes in each
+// direction (frame header included) and the handler's wall time at the
+// site. A Call reports a non-zero CallCost whenever a response envelope
+// arrived — including when that envelope carries a handler error, because
+// the site did the work — so a caller can attribute every completed visit
+// to the query that incurred it. On a transport failure (dial error,
+// severed connection) the cost is the zero value: nothing reached the site
+// that can be attributed.
+type CallCost struct {
+	Sent    int64
+	Recv    int64
+	Compute time.Duration
+}
+
+// zero reports whether the round trip never completed.
+func (c CallCost) zero() bool { return c == CallCost{} }
+
 // Transport is the coordinator's view of the cluster: synchronous
-// request/response calls to sites, plus the cumulative cost counters the
-// engine turns into the paper's Stats.
+// request/response calls to sites with per-call cost reporting, plus
+// cumulative lifetime counters.
+//
+// Implementations are safe for concurrent use: many goroutines — a
+// Broadcast's fan-out, or independent queries in flight at once — may Call
+// concurrently. Each caller receives its own CallCost, so concurrent users
+// never need to share or reset counters to attribute costs.
 type Transport interface {
-	// Call sends req to the site and returns its response. A handler
-	// error is returned as-is; transport failures are reported with the
-	// site identified.
-	Call(to SiteID, req any) (any, error)
-	// Metrics returns the transport's counters. The same instance is
-	// returned for the transport's lifetime.
+	// Call sends req to the site and returns its response plus the cost of
+	// the round trip. A handler error is returned as-is (with a valid
+	// cost); transport failures are reported with the site identified and
+	// a zero cost.
+	Call(to SiteID, req any) (any, CallCost, error)
+	// Metrics returns the transport's cumulative lifetime counters — the
+	// sum of every CallCost it ever reported. The same instance is
+	// returned for the transport's lifetime. Per-query accounting derives
+	// from CallCosts, never from this shared instance.
 	Metrics() *Metrics
 	// Close releases transport resources. The transport is unusable
 	// afterwards.
@@ -42,13 +68,18 @@ func invokeHandler(h Handler, req any) (resp any, err error) {
 }
 
 // Broadcast issues one Call per site concurrently and collects the
-// responses by site. The request maker mk runs sequentially over sites in
-// the given order before any call is issued; a nil request skips the site.
-// When several calls fail, the error reported is the failing site's that
-// comes first in sites — deterministic regardless of goroutine scheduling.
-// Errors are returned as Call produced them: transport errors already
-// identify the site, and pax handler errors identify it themselves.
-func Broadcast(tr Transport, sites []SiteID, mk func(SiteID) any) (map[SiteID]any, error) {
+// responses and per-call costs by site. The request maker mk runs
+// sequentially over sites in the given order before any call is issued; a
+// nil request skips the site. When several calls fail, the error reported
+// is the failing site's that comes first in sites — deterministic
+// regardless of goroutine scheduling. Errors are returned as Call produced
+// them: transport errors already identify the site, and pax handler errors
+// identify it themselves.
+//
+// The cost map holds an entry for every call whose round trip completed,
+// including calls that returned a handler error — even on a failed
+// broadcast the caller can account the work the sites actually did.
+func Broadcast(tr Transport, sites []SiteID, mk func(SiteID) any) (map[SiteID]any, map[SiteID]CallCost, error) {
 	type call struct {
 		site SiteID
 		req  any
@@ -60,22 +91,29 @@ func Broadcast(tr Transport, sites []SiteID, mk func(SiteID) any) (map[SiteID]an
 		}
 	}
 	resps := make([]any, len(calls))
+	costs := make([]CallCost, len(calls))
 	errs := make([]error, len(calls))
 	var wg sync.WaitGroup
 	for i, c := range calls {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resps[i], errs[i] = tr.Call(c.site, c.req)
+			resps[i], costs[i], errs[i] = tr.Call(c.site, c.req)
 		}()
 	}
 	wg.Wait()
+	costOut := make(map[SiteID]CallCost, len(calls))
+	for i, c := range calls {
+		if !costs[i].zero() {
+			costOut[c.site] = costs[i]
+		}
+	}
 	out := make(map[SiteID]any, len(calls))
 	for i, c := range calls {
 		if errs[i] != nil {
-			return nil, errs[i]
+			return nil, costOut, errs[i]
 		}
 		out[c.site] = resps[i]
 	}
-	return out, nil
+	return out, costOut, nil
 }

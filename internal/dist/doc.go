@@ -36,12 +36,26 @@
 // site's Metrics so ComputeAt reflects remote computation, not network
 // latency.
 //
-// # Metrics
+// # Cost accounting
 //
-// Transport.Metrics returns the transport's cumulative counters since the
-// last Reset: bytes sent and received (frame payload plus length prefix,
-// measured on the wire for TCP and via encoded size for Local), per-site
-// handler wall time, and per-site visit (call) counts. The engine derives
-// Stats — BytesSent, ParallelCompute, MaxSiteVisits — from these, so a
-// call is counted exactly once per completed round trip.
+// Every completed round trip is measured exactly once and reported twice:
+// Call returns the round trip's CallCost (bytes sent and received — frame
+// payload plus length prefix, measured on the wire for TCP and via encoded
+// size for Local — and the handler's wall time at the site), and the same
+// cost is summed into the transport's cumulative lifetime Metrics. A
+// caller that needs work attributed to a bounded unit — the pax engine
+// attributes it per query — aggregates the CallCosts of its own calls into
+// a private Metrics ledger (NewMetrics + Add). Broadcast returns the costs
+// of a whole stage keyed by site for the same purpose. A CallCost is valid
+// even when the call returned a handler error (the site did the work); it
+// is zero only when the round trip never completed.
+//
+// # Concurrency
+//
+// Transports are safe for concurrent use: a Broadcast's fan-out and any
+// number of independent queries may Call at the same time. The TCP client
+// grows its per-site connection pool under concurrent load and shrinks it
+// as connections go idle or stale. Because costs travel with each call,
+// concurrent callers never contend over — and must never Reset — the
+// shared lifetime counters.
 package dist

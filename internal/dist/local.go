@@ -23,7 +23,7 @@ type Local struct {
 
 // NewLocal creates an empty in-process cluster.
 func NewLocal() *Local {
-	return &Local{handlers: make(map[SiteID]Handler), m: newMetrics()}
+	return &Local{handlers: make(map[SiteID]Handler), m: NewMetrics()}
 }
 
 // AddSite registers the handler serving a site, replacing any previous
@@ -34,22 +34,24 @@ func (l *Local) AddSite(id SiteID, h Handler) {
 	l.handlers[id] = h
 }
 
-// Call delivers req to the site's handler and meters the round trip.
-func (l *Local) Call(to SiteID, req any) (any, error) {
+// Call delivers req to the site's handler and meters the round trip. The
+// returned CallCost is valid whenever the handler ran, including when it
+// returned an error.
+func (l *Local) Call(to SiteID, req any) (any, CallCost, error) {
 	l.mu.RLock()
 	h, ok := l.handlers[to]
 	l.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("dist: unknown site %d", to)
+		return nil, CallCost{}, fmt.Errorf("dist: unknown site %d", to)
 	}
 	if hook := l.FaultHook; hook != nil {
 		if err := hook(to, req); err != nil {
-			return nil, err
+			return nil, CallCost{}, err
 		}
 	}
 	reqPayload, err := encodePayload(reqEnvelope{Req: req})
 	if err != nil {
-		return nil, err
+		return nil, CallCost{}, err
 	}
 	start := time.Now()
 	resp, herr := invokeHandler(h, req)
@@ -68,14 +70,19 @@ func (l *Local) Call(to SiteID, req any) (any, error) {
 		herr = err
 		env = respEnvelope{Err: err.Error(), ComputeNanos: env.ComputeNanos}
 		if respPayload, err = encodePayload(env); err != nil {
-			return nil, err
+			return nil, CallCost{}, err
 		}
 	}
-	l.m.record(to, frameHeader+int64(len(reqPayload)), frameHeader+int64(len(respPayload)), compute)
-	if herr != nil {
-		return nil, herr
+	cost := CallCost{
+		Sent:    frameHeader + int64(len(reqPayload)),
+		Recv:    frameHeader + int64(len(respPayload)),
+		Compute: compute,
 	}
-	return resp, nil
+	l.m.Add(to, cost)
+	if herr != nil {
+		return nil, cost, herr
+	}
+	return resp, cost, nil
 }
 
 // Metrics returns the transport's counters.

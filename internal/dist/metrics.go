@@ -5,10 +5,16 @@ import (
 	"time"
 )
 
-// Metrics accumulates a transport's cost counters: wire bytes in both
-// directions, per-site handler computation time, and per-site visit
-// counts. All methods are safe for concurrent use; a Broadcast updates the
-// counters from many goroutines at once.
+// Metrics accumulates cost counters: wire bytes in both directions,
+// per-site handler computation time, and per-site visit counts. All
+// methods are safe for concurrent use; a Broadcast updates the counters
+// from many goroutines at once.
+//
+// Metrics plays two roles. Each transport owns one as its cumulative
+// lifetime counters (Transport.Metrics). Independently, anything tracking
+// a bounded unit of work — the pax engine creates one per query run —
+// builds a private ledger by Adding the CallCosts its own calls returned,
+// so concurrent users of one transport never share or reset counters.
 type Metrics struct {
 	mu      sync.Mutex
 	sent    int64
@@ -17,7 +23,8 @@ type Metrics struct {
 	visits  map[SiteID]int
 }
 
-func newMetrics() *Metrics {
+// NewMetrics returns an empty counter set, ready to Add to.
+func NewMetrics() *Metrics {
 	return &Metrics{
 		compute: make(map[SiteID]time.Duration),
 		visits:  make(map[SiteID]int),
@@ -67,7 +74,10 @@ func (m *Metrics) MaxVisits() int {
 	return max
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter. Only the owner of a private ledger may call
+// it; resetting a transport's shared lifetime counters while queries are
+// in flight corrupts nothing per-query (queries account from CallCosts),
+// but makes the lifetime totals lie.
 func (m *Metrics) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -76,13 +86,13 @@ func (m *Metrics) Reset() {
 	clear(m.visits)
 }
 
-// record accounts one completed round trip: its wire bytes, the handler
-// time at the site, and one visit.
-func (m *Metrics) record(site SiteID, sent, recv int64, compute time.Duration) {
+// Add accounts one completed round trip to the site: its wire bytes, the
+// handler time, and one visit.
+func (m *Metrics) Add(site SiteID, c CallCost) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.sent += sent
-	m.recv += recv
-	m.compute[site] += compute
+	m.sent += c.Sent
+	m.recv += c.Recv
+	m.compute[site] += c.Compute
 	m.visits[site]++
 }

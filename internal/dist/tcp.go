@@ -146,7 +146,7 @@ type TCP struct {
 func NewTCP(addrs map[SiteID]string) *TCP {
 	t := &TCP{
 		addrs:  make(map[SiteID]string, len(addrs)),
-		m:      newMetrics(),
+		m:      NewMetrics(),
 		idle:   make(map[SiteID][]net.Conn),
 		active: make(map[net.Conn]struct{}),
 	}
@@ -256,29 +256,31 @@ func (t *TCP) dropConn(conn net.Conn) {
 }
 
 // Call performs one round trip to the site. Handler errors come back as
-// plain errors; transport errors identify the site. Metrics are updated
-// once per completed round trip with the bytes actually put on the wire
-// and the handler time the server reported.
-func (t *TCP) Call(to SiteID, req any) (any, error) {
+// plain errors with a valid CallCost (the site did the work); transport
+// errors identify the site and carry a zero cost. The lifetime Metrics are
+// updated once per completed round trip with the bytes actually put on the
+// wire and the handler time the server reported.
+func (t *TCP) Call(to SiteID, req any) (any, CallCost, error) {
 	payload, err := encodePayload(reqEnvelope{Req: req})
 	if err != nil {
-		return nil, err
+		return nil, CallCost{}, err
 	}
 	conn, err := t.getConn(to)
 	if err != nil {
-		return nil, err
+		return nil, CallCost{}, err
 	}
 	env, sent, recvd, err := roundTrip(conn, payload)
 	if err != nil {
 		t.dropConn(conn)
-		return nil, fmt.Errorf("dist: site %d: %w", to, err)
+		return nil, CallCost{}, fmt.Errorf("dist: site %d: %w", to, err)
 	}
 	t.putConn(to, conn)
-	t.m.record(to, sent, recvd, time.Duration(env.ComputeNanos))
+	cost := CallCost{Sent: sent, Recv: recvd, Compute: time.Duration(env.ComputeNanos)}
+	t.m.Add(to, cost)
 	if env.Err != "" {
-		return nil, errors.New(env.Err)
+		return nil, cost, errors.New(env.Err)
 	}
-	return env.Resp, nil
+	return env.Resp, cost, nil
 }
 
 // roundTrip writes the request frame and reads the response frame.

@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -29,7 +31,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	tr, _ := tcpCluster(t, 1, 2)
 	for i := 0; i < 3; i++ { // repeated calls exercise the connection pool
 		for _, id := range []SiteID{1, 2} {
-			resp, err := tr.Call(id, &echoReq{Payload: "ping"})
+			resp, _, err := tr.Call(id, &echoReq{Payload: "ping"})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -49,12 +51,12 @@ func TestTCPRoundTrip(t *testing.T) {
 
 func TestTCPServerErrorPropagation(t *testing.T) {
 	tr, _ := tcpCluster(t, 1)
-	_, err := tr.Call(1, &echoReq{Payload: "fail:no such fragment"})
+	_, _, err := tr.Call(1, &echoReq{Payload: "fail:no such fragment"})
 	if err == nil || !strings.Contains(err.Error(), "no such fragment") {
 		t.Fatalf("err = %v", err)
 	}
 	// The connection survives a handler error.
-	if _, err := tr.Call(1, &echoReq{Payload: "ok"}); err != nil {
+	if _, _, err := tr.Call(1, &echoReq{Payload: "ok"}); err != nil {
 		t.Fatalf("call after handler error: %v", err)
 	}
 }
@@ -67,7 +69,7 @@ func TestTCPHandlerPanicBecomesError(t *testing.T) {
 	defer srv.Close()
 	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
 	defer tr.Close()
-	if _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -75,10 +77,10 @@ func TestTCPHandlerPanicBecomesError(t *testing.T) {
 func TestTCPUnknownSiteAndDialFailure(t *testing.T) {
 	tr := NewTCP(map[SiteID]string{1: "127.0.0.1:1"}) // nothing listens on port 1
 	defer tr.Close()
-	if _, err := tr.Call(5, &echoReq{}); err == nil || !strings.Contains(err.Error(), "unknown site") {
+	if _, _, err := tr.Call(5, &echoReq{}); err == nil || !strings.Contains(err.Error(), "unknown site") {
 		t.Fatalf("unknown site err = %v", err)
 	}
-	if _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "site 1") {
+	if _, _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "site 1") {
 		t.Fatalf("dial err = %v", err)
 	}
 }
@@ -86,7 +88,7 @@ func TestTCPUnknownSiteAndDialFailure(t *testing.T) {
 func TestTCPWireMetrics(t *testing.T) {
 	tr, _ := tcpCluster(t, 1)
 	m := tr.Metrics()
-	if _, err := tr.Call(1, &echoReq{Payload: "abc"}); err != nil {
+	if _, _, err := tr.Call(1, &echoReq{Payload: "abc"}); err != nil {
 		t.Fatal(err)
 	}
 	sent1, recv1 := m.Bytes()
@@ -95,7 +97,7 @@ func TestTCPWireMetrics(t *testing.T) {
 	}
 	// A larger payload ships more bytes; the delta reflects wire size.
 	big := strings.Repeat("x", 4096)
-	if _, err := tr.Call(1, &echoReq{Payload: big}); err != nil {
+	if _, _, err := tr.Call(1, &echoReq{Payload: big}); err != nil {
 		t.Fatal(err)
 	}
 	sent2, recv2 := m.Bytes()
@@ -118,14 +120,14 @@ func TestTCPComputeAtReportsServerTime(t *testing.T) {
 	defer srv.Close()
 	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
 	defer tr.Close()
-	if _, err := tr.Call(1, &echoReq{}); err != nil {
+	if _, _, err := tr.Call(1, &echoReq{}); err != nil {
 		t.Fatal(err)
 	}
 	c1 := tr.Metrics().ComputeAt(1)
 	if c1 < 2*time.Millisecond {
 		t.Errorf("ComputeAt = %v, want >= server handler time", c1)
 	}
-	if _, err := tr.Call(1, &echoReq{}); err != nil {
+	if _, _, err := tr.Call(1, &echoReq{}); err != nil {
 		t.Fatal(err)
 	}
 	if c2 := tr.Metrics().ComputeAt(1); c2 <= c1 {
@@ -150,7 +152,7 @@ func TestTCPServerCloseWhileInflight(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := tr.Call(1, &echoReq{Payload: "inflight"})
+		_, _, err := tr.Call(1, &echoReq{Payload: "inflight"})
 		done <- err
 	}()
 	<-started // the request has reached the handler
@@ -182,7 +184,7 @@ func TestTCPClientCloseUnblocksInflightCall(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := tr.Call(1, &echoReq{})
+		_, _, err := tr.Call(1, &echoReq{})
 		done <- err
 	}()
 	<-started
@@ -206,7 +208,7 @@ func TestUnencodableResponseMetersVisitOnBothTransports(t *testing.T) {
 	l := NewLocal()
 	defer l.Close()
 	l.AddSite(1, bad)
-	if _, err := l.Call(1, &echoReq{}); err == nil {
+	if _, _, err := l.Call(1, &echoReq{}); err == nil {
 		t.Fatal("Local: unencodable response must fail the call")
 	}
 	if v := l.Metrics().MaxVisits(); v != 1 {
@@ -220,7 +222,7 @@ func TestUnencodableResponseMetersVisitOnBothTransports(t *testing.T) {
 	defer srv.Close()
 	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
 	defer tr.Close()
-	if _, err := tr.Call(1, &echoReq{}); err == nil {
+	if _, _, err := tr.Call(1, &echoReq{}); err == nil {
 		t.Fatal("TCP: unencodable response must fail the call")
 	}
 	if v := tr.Metrics().MaxVisits(); v != 1 {
@@ -230,11 +232,11 @@ func TestUnencodableResponseMetersVisitOnBothTransports(t *testing.T) {
 
 func TestTCPClientCloseFailsCalls(t *testing.T) {
 	tr, _ := tcpCluster(t, 1)
-	if _, err := tr.Call(1, &echoReq{}); err != nil {
+	if _, _, err := tr.Call(1, &echoReq{}); err != nil {
 		t.Fatal(err)
 	}
 	tr.Close()
-	if _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "closed") {
+	if _, _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "closed") {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -242,7 +244,7 @@ func TestTCPClientCloseFailsCalls(t *testing.T) {
 func TestTCPBroadcast(t *testing.T) {
 	sites := []SiteID{0, 1, 2}
 	tr, _ := tcpCluster(t, sites...)
-	resps, err := Broadcast(tr, sites, func(id SiteID) any {
+	resps, _, err := Broadcast(tr, sites, func(id SiteID) any {
 		return &echoReq{Payload: "stage"}
 	})
 	if err != nil {
@@ -255,5 +257,79 @@ func TestTCPBroadcast(t *testing.T) {
 		if r := resps[id].(*echoResp); r.Site != id {
 			t.Errorf("site %d answered as %d", id, r.Site)
 		}
+	}
+}
+
+// TestTCPConcurrentBroadcasts drives overlapping Broadcasts — the shape of
+// many queries in flight on one serving engine — through one pooled TCP
+// client, each tagged with a distinct payload standing in for a QueryID.
+// Every broadcast must get its own responses and a complete per-site cost
+// map, and the per-broadcast costs must sum exactly to the transport's
+// lifetime counters (run with -race to catch pool races).
+func TestTCPConcurrentBroadcasts(t *testing.T) {
+	sites := []SiteID{0, 1, 2}
+	tr, _ := tcpCluster(t, sites...)
+
+	const workers = 16
+	const rounds = 4
+	type tally struct {
+		sent, recv int64
+		visits     int64
+	}
+	var total tally
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tag := fmt.Sprintf("query-%d-round-%d", w, i)
+				resps, costs, err := Broadcast(tr, sites, func(id SiteID) any {
+					return &echoReq{Payload: tag}
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if len(resps) != len(sites) || len(costs) != len(sites) {
+					errs[w] = fmt.Errorf("%s: %d responses, %d costs, want %d each", tag, len(resps), len(costs), len(sites))
+					return
+				}
+				for _, id := range sites {
+					r, ok := resps[id].(*echoResp)
+					if !ok || r.Payload != tag || r.Site != id {
+						errs[w] = fmt.Errorf("%s: site %d answered %#v", tag, id, resps[id])
+						return
+					}
+					c := costs[id]
+					if c.Sent <= frameHeader || c.Recv <= frameHeader {
+						errs[w] = fmt.Errorf("%s: site %d cost %+v", tag, id, c)
+						return
+					}
+					mu.Lock()
+					total.sent += c.Sent
+					total.recv += c.Recv
+					total.visits++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	sent, recv := tr.Metrics().Bytes()
+	if sent != total.sent || recv != total.recv {
+		t.Errorf("per-call costs sum to %d/%d bytes, lifetime metrics report %d/%d",
+			total.sent, total.recv, sent, recv)
+	}
+	wantVisits := int64(workers * rounds * len(sites))
+	if total.visits != wantVisits {
+		t.Errorf("accounted %d visits, want %d", total.visits, wantVisits)
 	}
 }

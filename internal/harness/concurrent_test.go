@@ -1,0 +1,28 @@
+package harness
+
+import "testing"
+
+// TestConcurrentLoadSmall runs the serving-load harness at CI scale: a
+// handful of workers over a real TCP deployment, every Result checked
+// against the per-query visit bound.
+func TestConcurrentLoadSmall(t *testing.T) {
+	rep, err := ConcurrentLoad(Config{Scale: 0.01, Seed: 1}, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 12 || rep.Errors != 0 {
+		t.Fatalf("completed %d queries with %d errors, want 12/0", rep.Queries, rep.Errors)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("%d queries exceeded the visit bound %d", rep.Violations, rep.VisitBound)
+	}
+	if rep.MaxVisits < 1 || rep.MaxVisits > 3 {
+		t.Errorf("MaxVisits = %d, want within [1,3]", rep.MaxVisits)
+	}
+	if rep.QPS <= 0 {
+		t.Errorf("QPS = %v", rep.QPS)
+	}
+	if rep.String() == "" {
+		t.Error("empty report")
+	}
+}

@@ -17,24 +17,33 @@ import (
 // site is visited exactly once — the qualifier pass — and the coordinator
 // unifies the returned residual vectors to a single truth value. This is
 // the one-visit guarantee ParBoX offers and PaX3/PaX2 generalize.
-func (e *Engine) RunBoolean(query string, opts Options) (bool, *Result, error) {
-	c, err := xpath.Compile(query)
-	if err != nil {
-		return false, nil, err
+//
+// Like Run, RunBoolean is safe for concurrent use and attributes costs to
+// its own Result alone.
+func (e *Engine) RunBoolean(query string, opts Options) (truth bool, res *Result, err error) {
+	p, perr := e.plan(query, false)
+	if perr != nil {
+		return false, nil, perr
 	}
+	c := p.c
 	if len(c.Sel) != 2 || c.Sel[1].Kind != xpath.SelStep || !c.Sel[1].Test.Wild {
 		return false, nil, fmt.Errorf("pax: %q is not a Boolean query; use a bare qualifier like %q", query, "[//a/b = 'x']")
 	}
-	e.tr.Metrics().Reset()
+	defer func() {
+		if r := recover(); r != nil {
+			truth, res, err = false, nil, fmt.Errorf("pax: inconsistent site data for %q: %v", query, r)
+		}
+	}()
+	usage := dist.NewMetrics()
 	start := time.Now()
 
-	res := &Result{RelevantFrags: e.topo.FT.Len(), TotalFrags: e.topo.FT.Len()}
-	truth := true
+	res = &Result{RelevantFrags: e.topo.FT.Len(), TotalFrags: e.topo.FT.Len()}
+	truth = true
 	if c.HasQualifiers() {
 		ft := e.topo.FT
 		vs := parbox.NewVarScheme(c, ft.Len())
 		qid := QueryID(e.qid.Add(1))
-		resps, err := e.stage(res, opts.Sequential, func(dist.SiteID) any {
+		resps, err := e.stage(res, usage, opts.Sequential, func(dist.SiteID) any {
 			return &QualStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len())}
 		})
 		if err != nil {
@@ -42,8 +51,11 @@ func (e *Engine) RunBoolean(query string, opts Options) (bool, *Result, error) {
 		}
 		roots := make(map[fragment.FragID]parbox.RootVecs, ft.Len())
 		var rootSelQual []*boolexpr.Formula
-		for _, r := range resps {
-			qr := r.(*QualStageResp)
+		for site, r := range resps {
+			qr, err := respAs[*QualStageResp](site, r, "qualifier")
+			if err != nil {
+				return false, nil, err
+			}
 			if err := decodeRoots(qr.Roots, roots); err != nil {
 				return false, nil, err
 			}
@@ -56,21 +68,22 @@ func (e *Engine) RunBoolean(query string, opts Options) (bool, *Result, error) {
 				}
 			}
 		}
-		if rootSelQual == nil {
+		if len(rootSelQual) < 2 {
 			return false, nil, fmt.Errorf("pax: root fragment did not report its qualifier value")
 		}
 		env, err := parbox.ResolveQualVars(roots, vs)
 		if err != nil {
 			return false, nil, err
 		}
-		truth = env.MustResolveConst(rootSelQual[1])
+		val, ok := env.Resolve(rootSelQual[1]).IsConst()
+		if !ok {
+			return false, nil, fmt.Errorf("pax: root qualifier not ground after unification")
+		}
+		truth = val
 		// Sites have no further stages coming for this query; their
 		// sessions expire through the eviction cap.
 	}
 	res.Wall = time.Since(start)
-	m := e.tr.Metrics()
-	res.TotalCompute = m.TotalCompute()
-	res.MaxVisits = m.MaxVisits()
-	res.BytesSent, res.BytesRecv = m.Bytes()
+	e.finishResult(res, usage)
 	return truth, res, nil
 }

@@ -1,0 +1,100 @@
+package pax
+
+import (
+	"container/list"
+	"sync"
+
+	"paxq/internal/xpath"
+)
+
+// lru is a small mutex-guarded LRU map. It backs the compiled-query caches
+// on both sides of the wire: the coordinator's plan cache and each site's
+// compile cache. Values must be immutable once inserted — a hit is shared
+// by every query run that holds it, concurrently.
+type lru[K comparable, V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[K]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](capacity int) *lru[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[K, V]{
+		cap:     capacity,
+		entries: make(map[K]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lru[K, V]) get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry[K, V]).val, true
+}
+
+// put inserts or refreshes a value, evicting the least recently used entry
+// beyond capacity. Concurrent puts of the same key keep whichever lands
+// last — values for one key are interchangeable, so the race is benign.
+func (c *lru[K, V]) put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry[K, V]{key: key, val: val})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lru[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// plan is one compiled, relevance-analyzed query — everything about an
+// evaluation that depends only on (query text, annotations flag) and the
+// engine's immutable topology. Plans are immutable and shared: any number
+// of concurrent runs may evaluate off one plan.
+type plan struct {
+	c   *xpath.Compiled
+	rel *Relevance
+}
+
+// planKey identifies a plan: relevance analysis depends on the Annotations
+// option, so the same query text compiles to distinct plans with and
+// without it.
+type planKey struct {
+	query       string
+	annotations bool
+}
+
+// defaultPlanCache bounds the coordinator's plan cache. Sized for a
+// serving workload's hot set; recompiling a cold query costs microseconds,
+// so overflow is cheap.
+const defaultPlanCache = 256
+
+// defaultSiteCompileCache bounds each site's query→Compiled cache. Sites
+// see the same hot set as the coordinator.
+const defaultSiteCompileCache = 256

@@ -50,7 +50,10 @@ type Options struct {
 	Sequential bool
 }
 
-// Result reports the answer and the cost profile of one evaluation.
+// Result reports the answer and the cost profile of one evaluation. Every
+// cost field is attributed strictly to this evaluation's own site calls —
+// concurrent evaluations on the same engine never bleed into each other's
+// Results.
 type Result struct {
 	Answers []AnswerNode
 
@@ -72,35 +75,73 @@ type Result struct {
 }
 
 // Engine is the coordinator (the querying site S_Q of the paper).
+//
+// An Engine is safe for concurrent use: any number of Runs (and
+// RunBooleans) may be in flight at once over one cluster. Each run carries
+// a private cost ledger fed by the per-call costs the transport reports,
+// so the guarantees the Result asserts — visit counts, byte totals,
+// computation times — hold per query even under concurrent load. Compiled
+// plans are cached per (query, annotations) and shared between runs.
 type Engine struct {
-	topo *Topology
-	tr   dist.Transport
-	qid  atomic.Uint64
+	topo  *Topology
+	tr    dist.Transport
+	qid   atomic.Uint64
+	plans *lru[planKey, *plan]
 }
 
 // NewEngine creates a coordinator over a topology and a transport.
 func NewEngine(topo *Topology, tr dist.Transport) *Engine {
-	return &Engine{topo: topo, tr: tr}
+	return &Engine{topo: topo, tr: tr, plans: newLRU[planKey, *plan](defaultPlanCache)}
 }
 
-// Run evaluates query under the given options. Concurrent Runs on one
-// Engine are safe algorithmically but share the transport's metric
-// counters; run sequentially when cost profiles matter.
-func (e *Engine) Run(query string, opts Options) (*Result, error) {
+// plan returns the cached compiled plan for (query, annotations),
+// compiling and analyzing on a miss.
+func (e *Engine) plan(query string, annotations bool) (*plan, error) {
+	key := planKey{query: query, annotations: annotations}
+	if p, ok := e.plans.get(key); ok {
+		return p, nil
+	}
 	c, err := xpath.Compile(query)
 	if err != nil {
 		return nil, err
 	}
-	e.tr.Metrics().Reset()
+	p := &plan{c: c}
+	if annotations {
+		p.rel = AnalyzeRelevance(e.topo.FT, c)
+	} else {
+		p.rel = allRelevant(e.topo.FT)
+	}
+	e.plans.put(key, p)
+	return p, nil
+}
+
+// Run evaluates query under the given options. Runs may be issued
+// concurrently; each Result's cost profile is attributed to its own query
+// alone. Malformed or inconsistent site responses surface as errors, never
+// as coordinator panics.
+func (e *Engine) Run(query string, opts Options) (res *Result, err error) {
+	p, perr := e.plan(query, opts.Annotations)
+	if perr != nil {
+		return nil, perr
+	}
+	// Unification and resolution panic on invariant violations that only
+	// corrupt remote data can produce (cyclic bindings, conflicting
+	// rebindings). A serving coordinator must degrade them to a failed
+	// query, not die.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("pax: inconsistent site data for %q: %v", query, r)
+		}
+	}()
+	usage := dist.NewMetrics()
 	start := time.Now()
-	var res *Result
 	switch opts.Algorithm {
 	case PaX3:
-		res, err = e.runPaX3(query, c, opts)
+		res, err = e.runPaX3(query, p, opts, usage)
 	case PaX2:
-		res, err = e.runPaX2(query, c, opts)
+		res, err = e.runPaX2(query, p, opts, usage)
 	case Naive:
-		res, err = e.runNaive(c, opts)
+		res, err = e.runNaive(p.c, opts, usage)
 	default:
 		return nil, fmt.Errorf("pax: unknown algorithm %v", opts.Algorithm)
 	}
@@ -108,13 +149,17 @@ func (e *Engine) Run(query string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res.Wall = time.Since(start)
-	m := e.tr.Metrics()
-	res.TotalCompute = m.TotalCompute()
-	res.MaxVisits = m.MaxVisits()
-	res.BytesSent, res.BytesRecv = m.Bytes()
-	res.TotalFrags = e.topo.FT.Len()
+	e.finishResult(res, usage)
 	sortAnswers(res.Answers)
 	return res, nil
+}
+
+// finishResult folds the run's private ledger into its Result.
+func (e *Engine) finishResult(res *Result, usage *dist.Metrics) {
+	res.TotalCompute = usage.TotalCompute()
+	res.MaxVisits = usage.MaxVisits()
+	res.BytesSent, res.BytesRecv = usage.Bytes()
+	res.TotalFrags = e.topo.FT.Len()
 }
 
 func sortAnswers(ans []AnswerNode) {
@@ -124,14 +169,6 @@ func sortAnswers(ans []AnswerNode) {
 		}
 		return ans[i].Node < ans[j].Node
 	})
-}
-
-// relevance computes the participating fragments under the options.
-func (e *Engine) relevance(c *xpath.Compiled, opts Options) *Relevance {
-	if opts.Annotations {
-		return AnalyzeRelevance(e.topo.FT, c)
-	}
-	return allRelevant(e.topo.FT)
 }
 
 // relevantFragsBySite groups the relevant fragments by hosting site.
@@ -149,50 +186,54 @@ func (e *Engine) relevantFragsBySite(rel *Relevance) map[dist.SiteID][]fragment.
 }
 
 // stage runs one round against the sites with non-nil requests — in
-// parallel normally, one at a time in Sequential mode — and records its
-// wall time plus the stage's parallel computation cost (the maximum
-// per-site computation, §3.4) in res.
-func (e *Engine) stage(res *Result, seq bool, mk func(dist.SiteID) any) (map[dist.SiteID]any, error) {
-	m := e.tr.Metrics()
+// parallel normally, one at a time in Sequential mode — charging every
+// completed call to the run's private usage ledger and recording the
+// stage's wall time, wire bytes and parallel computation cost (the
+// maximum per-site computation, §3.4) in res.
+func (e *Engine) stage(res *Result, usage *dist.Metrics, seq bool, mk func(dist.SiteID) any) (map[dist.SiteID]any, error) {
 	sites := e.topo.Sites()
-	before := make(map[dist.SiteID]time.Duration, len(sites))
-	for _, s := range sites {
-		before[s] = m.ComputeAt(s)
-	}
-	sent0, recv0 := m.Bytes()
 	t0 := time.Now()
 	var resps map[dist.SiteID]any
+	var costs map[dist.SiteID]dist.CallCost
 	var err error
 	if seq {
 		resps = make(map[dist.SiteID]any)
+		costs = make(map[dist.SiteID]dist.CallCost)
 		for _, id := range sites {
 			req := mk(id)
 			if req == nil {
 				continue
 			}
-			r, cerr := e.tr.Call(id, req)
+			r, cost, cerr := e.tr.Call(id, req)
+			if cost != (dist.CallCost{}) {
+				costs[id] = cost
+			}
 			if cerr != nil {
-				return nil, fmt.Errorf("pax: site %d: %w", id, cerr)
+				err = fmt.Errorf("pax: site %d: %w", id, cerr)
+				break
 			}
 			resps[id] = r
 		}
 	} else {
-		resps, err = dist.Broadcast(e.tr, sites, mk)
-		if err != nil {
-			return nil, err
-		}
+		resps, costs, err = dist.Broadcast(e.tr, sites, mk)
 	}
+	// Even a failed stage's completed calls are this query's cost.
 	var maxCompute time.Duration
-	for _, s := range sites {
-		if d := m.ComputeAt(s) - before[s]; d > maxCompute {
-			maxCompute = d
+	var stageBytes int64
+	for site, c := range costs {
+		usage.Add(site, c)
+		if c.Compute > maxCompute {
+			maxCompute = c.Compute
 		}
+		stageBytes += c.Sent + c.Recv
+	}
+	if err != nil {
+		return nil, err
 	}
 	res.ParallelCompute += maxCompute
 	res.Stages++
 	res.StageWall = append(res.StageWall, time.Since(t0))
-	sent1, recv1 := m.Bytes()
-	res.StageBytes = append(res.StageBytes, (sent1-sent0)+(recv1-recv0))
+	res.StageBytes = append(res.StageBytes, stageBytes)
 	return resps, nil
 }
 
@@ -213,8 +254,10 @@ func decodeRoots(wire []WireRootVecs, into map[fragment.FragID]parbox.RootVecs) 
 }
 
 // groundQualsFor extracts, for each fragment in frags, the ground qualifier
-// values of its sub-fragments from the unification environment.
-func groundQualsFor(env *boolexpr.Env, vs parbox.VarScheme, ft *fragment.Fragmentation, frags []fragment.FragID) []WireBoolVals {
+// values of its sub-fragments from the unification environment. A
+// non-ground value means a site's Stage-1 report was incomplete; that is
+// the site's fault and becomes the query's error, not a coordinator panic.
+func groundQualsFor(env *boolexpr.Env, vs parbox.VarScheme, ft *fragment.Fragmentation, frags []fragment.FragID) ([]WireBoolVals, error) {
 	var out []WireBoolVals
 	seen := make(map[fragment.FragID]bool)
 	for _, fid := range frags {
@@ -225,13 +268,17 @@ func groundQualsFor(env *boolexpr.Env, vs parbox.VarScheme, ft *fragment.Fragmen
 			seen[child] = true
 			v := WireBoolVals{Frag: child, QV: make([]bool, vs.NumPreds), QDV: make([]bool, vs.NumPreds)}
 			for p := 0; p < vs.NumPreds; p++ {
-				v.QV[p] = env.MustResolveConst(boolexpr.V(vs.QV(child, p)))
-				v.QDV[p] = env.MustResolveConst(boolexpr.V(vs.QDV(child, p)))
+				qv, ok1 := env.Resolve(boolexpr.V(vs.QV(child, p))).IsConst()
+				qdv, ok2 := env.Resolve(boolexpr.V(vs.QDV(child, p))).IsConst()
+				if !ok1 || !ok2 {
+					return nil, fmt.Errorf("pax: qualifier values of fragment %d not ground after unification", child)
+				}
+				v.QV[p], v.QDV[p] = qv, qdv
 			}
 			out = append(out, v)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // resolveContexts performs the top-down half of Procedure evalFT: walk the
@@ -270,12 +317,24 @@ func resolveContexts(env *boolexpr.Env, vs parbox.VarScheme, contexts []WireCont
 	return out, nil
 }
 
+// respAs asserts the response type of one site, degrading a mismatch — a
+// confused or hostile site — to a query error.
+func respAs[T any](site dist.SiteID, r any, stage string) (T, error) {
+	v, ok := r.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("pax: site %d: unexpected %T response to %s stage", site, r, stage)
+	}
+	return v, nil
+}
+
 // runPaX3 is Procedure PaX3 of Fig. 4(a).
-func (e *Engine) runPaX3(query string, c *xpath.Compiled, opts Options) (*Result, error) {
+func (e *Engine) runPaX3(query string, p *plan, opts Options, usage *dist.Metrics) (*Result, error) {
 	res := &Result{}
+	c := p.c
 	ft := e.topo.FT
 	vs := parbox.NewVarScheme(c, ft.Len())
-	rel := e.relevance(c, opts)
+	rel := p.rel
 	res.RelevantFrags = rel.NumRelevant()
 	if res.RelevantFrags == 0 {
 		return res, nil // nothing can match anywhere
@@ -288,15 +347,19 @@ func (e *Engine) runPaX3(query string, c *xpath.Compiled, opts Options) (*Result
 	// live anywhere), skipped entirely for qualifier-free queries.
 	var env *boolexpr.Env
 	if hasQual {
-		resps, err := e.stage(res, opts.Sequential, func(dist.SiteID) any {
+		resps, err := e.stage(res, usage, opts.Sequential, func(dist.SiteID) any {
 			return &QualStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len())}
 		})
 		if err != nil {
 			return nil, err
 		}
 		roots := make(map[fragment.FragID]parbox.RootVecs, ft.Len())
-		for _, r := range resps {
-			if err := decodeRoots(r.(*QualStageResp).Roots, roots); err != nil {
+		for site, r := range resps {
+			qr, err := respAs[*QualStageResp](site, r, "qualifier")
+			if err != nil {
+				return nil, err
+			}
+			if err := decodeRoots(qr.Roots, roots); err != nil {
 				return nil, err
 			}
 		}
@@ -308,7 +371,9 @@ func (e *Engine) runPaX3(query string, c *xpath.Compiled, opts Options) (*Result
 		env = boolexpr.NewEnv()
 	}
 
-	// Stage 2: selection-path evaluation over the relevant fragments.
+	// Stage 2: selection-path evaluation over the relevant fragments. The
+	// requests are built up front so malformed Stage-1 data fails the
+	// query before any site is visited again.
 	var inits []WireInit
 	if rel.Exact && opts.Annotations {
 		for i, ok := range rel.Relevant {
@@ -317,29 +382,38 @@ func (e *Engine) runPaX3(query string, c *xpath.Compiled, opts Options) (*Result
 			}
 		}
 	}
-	resps, err := e.stage(res, opts.Sequential, func(site dist.SiteID) any {
+	selReqs := make(map[dist.SiteID]any)
+	for _, site := range e.topo.Sites() {
 		frags := relBySite[site]
 		if len(frags) == 0 {
-			return nil
+			continue
 		}
 		req := &SelStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len()), Frags: frags, ShipXML: opts.ShipXML}
 		if hasQual {
-			req.VirtualQuals = groundQualsFor(env, vs, ft, frags)
+			vq, err := groundQualsFor(env, vs, ft, frags)
+			if err != nil {
+				return nil, err
+			}
+			req.VirtualQuals = vq
 		}
 		for _, in := range inits {
 			if e.topo.SiteOf[in.Frag] == site {
 				req.Inits = append(req.Inits, in)
 			}
 		}
-		return req
-	})
+		selReqs[site] = req
+	}
+	resps, err := e.stage(res, usage, opts.Sequential, func(site dist.SiteID) any { return selReqs[site] })
 	if err != nil {
 		return nil, err
 	}
 	var contexts []WireContext
 	candFrags := make(map[fragment.FragID]bool)
-	for _, r := range resps {
-		sr := r.(*SelStageResp)
+	for site, r := range resps {
+		sr, err := respAs[*SelStageResp](site, r, "selection")
+		if err != nil {
+			return nil, err
+		}
 		res.Answers = append(res.Answers, sr.Answers...)
 		contexts = append(contexts, sr.Contexts...)
 		for _, fid := range sr.Candidates {
@@ -356,8 +430,12 @@ func (e *Engine) runPaX3(query string, c *xpath.Compiled, opts Options) (*Result
 		return nil, err
 	}
 
-	// Stage 3: resolve candidates where they live.
-	resps, err = e.stage(res, opts.Sequential, func(site dist.SiteID) any {
+	// Stage 3: resolve candidates where they live. A candidate can only
+	// exist in a fragment seeded with z variables, whose parent necessarily
+	// reported a context — a candidate without one is a malformed site
+	// response and fails the query up front.
+	ansReqs := make(map[dist.SiteID]any)
+	for _, site := range e.topo.Sites() {
 		var req *AnsStageReq
 		for _, fid := range relBySite[site] {
 			if !candFrags[fid] {
@@ -365,35 +443,38 @@ func (e *Engine) runPaX3(query string, c *xpath.Compiled, opts Options) (*Result
 			}
 			sv, ok := ground[fid]
 			if !ok {
-				// A candidate can only exist in a fragment seeded with z
-				// variables, whose parent necessarily reported a context.
-				panic(fmt.Sprintf("pax: no ground context for candidate fragment %d", fid))
+				return nil, fmt.Errorf("pax: site %d reported candidate fragment %d without a ground context", site, fid)
 			}
 			if req == nil {
 				req = &AnsStageReq{QID: qid}
 			}
 			req.Inits = append(req.Inits, WireInit{Frag: fid, SV: sv})
 		}
-		if req == nil {
-			return nil
+		if req != nil {
+			ansReqs[site] = req
 		}
-		return req
-	})
+	}
+	resps, err = e.stage(res, usage, opts.Sequential, func(site dist.SiteID) any { return ansReqs[site] })
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range resps {
-		res.Answers = append(res.Answers, r.(*AnsStageResp).Answers...)
+	for site, r := range resps {
+		ar, err := respAs[*AnsStageResp](site, r, "answer")
+		if err != nil {
+			return nil, err
+		}
+		res.Answers = append(res.Answers, ar.Answers...)
 	}
 	return res, nil
 }
 
 // runPaX2 is Procedure PaX2 of Fig. 5.
-func (e *Engine) runPaX2(query string, c *xpath.Compiled, opts Options) (*Result, error) {
+func (e *Engine) runPaX2(query string, p *plan, opts Options, usage *dist.Metrics) (*Result, error) {
 	res := &Result{}
+	c := p.c
 	ft := e.topo.FT
 	vs := parbox.NewVarScheme(c, ft.Len())
-	rel := e.relevance(c, opts)
+	rel := p.rel
 	res.RelevantFrags = rel.NumRelevant()
 	if res.RelevantFrags == 0 {
 		return res, nil
@@ -412,7 +493,7 @@ func (e *Engine) runPaX2(query string, c *xpath.Compiled, opts Options) (*Result
 			}
 		}
 	}
-	resps, err := e.stage(res, opts.Sequential, func(site dist.SiteID) any {
+	resps, err := e.stage(res, usage, opts.Sequential, func(site dist.SiteID) any {
 		frags := relBySite[site]
 		if len(frags) == 0 {
 			return nil
@@ -431,8 +512,11 @@ func (e *Engine) runPaX2(query string, c *xpath.Compiled, opts Options) (*Result
 	roots := make(map[fragment.FragID]parbox.RootVecs, ft.Len())
 	var contexts []WireContext
 	candFrags := make(map[fragment.FragID]bool)
-	for _, r := range resps {
-		cr := r.(*CombinedStageResp)
+	for site, r := range resps {
+		cr, err := respAs[*CombinedStageResp](site, r, "combined")
+		if err != nil {
+			return nil, err
+		}
 		if err := decodeRoots(cr.Roots, roots); err != nil {
 			return nil, err
 		}
@@ -469,9 +553,12 @@ func (e *Engine) runPaX2(query string, c *xpath.Compiled, opts Options) (*Result
 	// Stage 2: resolve candidates; PaX2 candidates may mention both z and
 	// sub-fragment qualifier variables. The root fragment ran with the
 	// concrete document vector, so its candidates (which arise from
-	// qualifiers awaiting sub-fragment data) get that vector as their init.
+	// qualifiers awaiting sub-fragment data) get that vector as their
+	// init. Any other candidate without a ground context is a malformed
+	// site response and fails the query before the stage is issued.
 	docBools := xpath.DocSelVector[bool](xpath.BoolAlg{}, c)
-	resps, err = e.stage(res, opts.Sequential, func(site dist.SiteID) any {
+	ansReqs := make(map[dist.SiteID]any)
+	for _, site := range e.topo.Sites() {
 		var req *AnsStageReq
 		var frags []fragment.FragID
 		for _, fid := range relBySite[site] {
@@ -481,7 +568,7 @@ func (e *Engine) runPaX2(query string, c *xpath.Compiled, opts Options) (*Result
 			sv, ok := ground[fid]
 			if !ok {
 				if fid != fragment.RootFrag {
-					panic(fmt.Sprintf("pax: no ground context for candidate fragment %d", fid))
+					return nil, fmt.Errorf("pax: site %d reported candidate fragment %d without a ground context", site, fid)
 				}
 				sv = docBools
 			}
@@ -492,18 +579,23 @@ func (e *Engine) runPaX2(query string, c *xpath.Compiled, opts Options) (*Result
 			frags = append(frags, fid)
 		}
 		if req == nil {
-			return nil
+			continue
 		}
 		if hasQual {
 			req.Quals = groundQualsForPresent(env, vs, ft, frags, roots)
 		}
-		return req
-	})
+		ansReqs[site] = req
+	}
+	resps, err = e.stage(res, usage, opts.Sequential, func(site dist.SiteID) any { return ansReqs[site] })
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range resps {
-		res.Answers = append(res.Answers, r.(*AnsStageResp).Answers...)
+	for site, r := range resps {
+		ar, err := respAs[*AnsStageResp](site, r, "answer")
+		if err != nil {
+			return nil, err
+		}
+		res.Answers = append(res.Answers, ar.Answers...)
 	}
 	return res, nil
 }

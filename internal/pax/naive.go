@@ -15,15 +15,18 @@ import (
 // Its network traffic is proportional to |T| — the cost the partial
 // evaluation algorithms exist to avoid — and is visible directly in the
 // Result's byte counters.
-func (e *Engine) runNaive(c *xpath.Compiled, opts Options) (*Result, error) {
+func (e *Engine) runNaive(c *xpath.Compiled, opts Options, usage *dist.Metrics) (*Result, error) {
 	res := &Result{RelevantFrags: e.topo.FT.Len()}
-	resps, err := e.stage(res, opts.Sequential, func(dist.SiteID) any { return &FetchReq{} })
+	resps, err := e.stage(res, usage, opts.Sequential, func(dist.SiteID) any { return &FetchReq{} })
 	if err != nil {
 		return nil, err
 	}
 	frags := make(map[fragment.FragID]*WireFragment)
-	for _, r := range resps {
-		fr := r.(*FetchResp)
+	for site, r := range resps {
+		fr, err := respAs[*FetchResp](site, r, "fetch")
+		if err != nil {
+			return nil, err
+		}
 		for i := range fr.Frags {
 			frags[fr.Frags[i].ID] = &fr.Frags[i]
 		}

@@ -17,9 +17,16 @@ import (
 // the stage requests of PaX3, PaX2 and NaiveCentralized. A Site is a
 // dist.Handler factory, so the same instance can back the in-process or the
 // TCP transport.
+//
+// A Site serves any number of concurrent queries: per-query state lives in
+// sessions keyed by QueryID, and compiled queries are cached and shared
+// across sessions. A malformed or out-of-order stage request fails that
+// request with an error through the transport; it never takes the site
+// down.
 type Site struct {
-	id    dist.SiteID
-	frags map[fragment.FragID]*fragment.Fragment
+	id       dist.SiteID
+	frags    map[fragment.FragID]*fragment.Fragment
+	compiled *lru[string, *xpath.Compiled]
 
 	mu       sync.Mutex
 	sessions map[QueryID]*session
@@ -39,12 +46,22 @@ type session struct {
 }
 
 // maxSessions bounds retained per-query state; evaluations that never reach
-// their final stage (aborted coordinators) are evicted oldest-first.
-const maxSessions = 64
+// their final stage (aborted coordinators) are evicted oldest-first. It
+// also caps how many queries can usefully be in flight against one site —
+// beyond it, the oldest unfinished query loses its state and fails its
+// next stage with a "no session" error (the coordinator surfaces that as
+// the query's error; admission control above the engine is the ROADMAP
+// answer for sustained overload).
+const maxSessions = 256
 
 // NewSite creates a site hosting the given fragments.
 func NewSite(id dist.SiteID, frags []*fragment.Fragment) *Site {
-	s := &Site{id: id, frags: make(map[fragment.FragID]*fragment.Fragment, len(frags)), sessions: make(map[QueryID]*session)}
+	s := &Site{
+		id:       id,
+		frags:    make(map[fragment.FragID]*fragment.Fragment, len(frags)),
+		compiled: newLRU[string, *xpath.Compiled](defaultSiteCompileCache),
+		sessions: make(map[QueryID]*session),
+	}
 	for _, f := range frags {
 		s.frags[f.ID] = f
 	}
@@ -92,7 +109,7 @@ func (s *Site) getSession(qid QueryID, query string, numFrags int32) (*session, 
 	if query == "" {
 		return nil, fmt.Errorf("pax: site %d: no session for query %d", s.id, qid)
 	}
-	c, err := xpath.Compile(query)
+	c, err := s.compile(query)
 	if err != nil {
 		return nil, fmt.Errorf("pax: site %d: %w", s.id, err)
 	}
@@ -114,6 +131,20 @@ func (s *Site) getSession(qid QueryID, query string, numFrags int32) (*session, 
 	}
 	s.sessions[qid] = sess
 	return sess, nil
+}
+
+// compile returns the site's cached compilation of query. The Compiled is
+// immutable and shared by every session evaluating the same query text.
+func (s *Site) compile(query string) (*xpath.Compiled, error) {
+	if c, ok := s.compiled.get(query); ok {
+		return c, nil
+	}
+	c, err := xpath.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	s.compiled.put(query, c)
+	return c, nil
 }
 
 func (s *Site) dropSessionIfDone(qid QueryID, sess *session) {
@@ -218,12 +249,14 @@ func (s *Site) handleSel(req *SelStageReq) (*SelStageResp, error) {
 			return nil, err
 		}
 		fq := sess.qual[fid]
+		if fq == nil && sess.c.HasQualifiers() {
+			// The selection stage consumes Stage-1 state; a qualified query
+			// whose qualifier stage never ran here (or already ran its
+			// selection stage) is a protocol violation by the coordinator —
+			// an error for this request, never a site crash.
+			return nil, fmt.Errorf("pax: site %d: selection stage for fragment %d of query %d arrived out of order (no qualifier state)", s.id, fid, req.QID)
+		}
 		qualAt := func(n *xmltree.Node, entry int) *boolexpr.Formula {
-			if fq == nil {
-				// Stage 1 was skipped: the query has no qualifiers, so this
-				// must never be called.
-				panic(fmt.Sprintf("pax: qualifier requested for entry %d without Stage 1", entry))
-			}
 			return env.Resolve(fq.SelQual[n.ID][entry])
 		}
 		outc := evalSelection(f, sess.c, init, req.ShipXML, qualAt)
@@ -303,7 +336,14 @@ func (s *Site) handleCollect(req *AnsStageReq) (*AnsStageResp, error) {
 			return nil, fmt.Errorf("pax: site %d does not host fragment %d", s.id, in.Frag)
 		}
 		for _, cand := range sess.cands[in.Frag] {
-			if env.MustResolveConst(cand.f) {
+			val, ok := env.Resolve(cand.f).IsConst()
+			if !ok {
+				// The coordinator's request failed to ground a candidate —
+				// missing qualifier values or an out-of-order stage. A
+				// protocol error, not a site panic.
+				return nil, fmt.Errorf("pax: site %d: candidate in fragment %d not ground under the supplied values", s.id, in.Frag)
+			}
+			if val {
 				resp.Answers = append(resp.Answers, answerOf(f, f.Tree.Node(cand.node), sess.shipXML))
 			}
 		}

@@ -21,6 +21,18 @@
 //	cluster, _ := paxq.NewCluster(doc, paxq.ClusterOptions{Fragments: 4, Sites: 2})
 //	defer cluster.Close()
 //	answers, _ := cluster.Evaluate(`//broker[//stock/code = "GOOG"]/name`)
+//
+// # Concurrency
+//
+// A Cluster is a long-lived serving object: once built, any number of
+// goroutines may call Evaluate, Query and EvaluateBool concurrently —
+// cmd/paxserve exposes exactly this over HTTP. Each evaluation carries a
+// private cost ledger fed by per-call transport costs, so the Stats of
+// one query are attributed to that query alone and the paper's per-query
+// guarantees (visit bound, traffic bound) can be asserted even under
+// concurrent load. Compiled query plans are cached and shared between
+// evaluations. Close must not be called while evaluations are in flight;
+// in-flight queries then fail with transport errors.
 package paxq
 
 import (
@@ -140,7 +152,9 @@ type ClusterOptions struct {
 	Seed int64
 }
 
-// Cluster is a fragmented, distributed document plus a coordinator.
+// Cluster is a fragmented, distributed document plus a coordinator. It is
+// safe for concurrent use: many queries may be evaluated at once, each
+// receiving its own independent Stats (see the package comment).
 type Cluster struct {
 	ft       *fragment.Fragmentation
 	topo     *pax.Topology
@@ -242,7 +256,8 @@ func (o QueryOptions) toPax() (pax.Options, error) {
 }
 
 // Query evaluates an XPath query with explicit options and returns the
-// answers plus the evaluation's cost profile.
+// answers plus the evaluation's cost profile. Safe for concurrent use;
+// the returned Stats cover this evaluation alone.
 func (c *Cluster) Query(query string, opts QueryOptions) ([]Answer, *Stats, error) {
 	po, err := opts.toPax()
 	if err != nil {
