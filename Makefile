@@ -1,10 +1,20 @@
 GO ?= go
 
-.PHONY: check build vet test test-race bench
+# Minimum combined statement coverage for the core evaluation packages
+# (internal/pax, internal/xpath). Measured ~91% at the time the gate was
+# introduced; the threshold leaves headroom so the gate flags real
+# regressions, not noise.
+COVER_MIN ?= 85
+# Per-target budget of the fuzz smoke in the check gate.
+FUZZTIME ?= 10s
+
+.PHONY: check build vet test test-race cover fuzz-smoke bench
 
 # The tier-1 verification gate: everything must compile, vet clean, pass,
-# and stay race-free under the concurrent serving load tests.
-check: build vet test test-race
+# stay race-free under the concurrent serving load tests, hold the
+# coverage floor on the core packages, and survive a short fuzz smoke of
+# the parser and the wire codec.
+check: build vet test test-race cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,6 +27,24 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Coverage floor for the core evaluation packages. Uses -short: the gate
+# measures coverage, the full differential sweep runs in `test`.
+cover:
+	$(GO) test -short -coverprofile=cover.out ./internal/pax ./internal/xpath
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+	  { echo "coverage $$total% below floor $(COVER_MIN)%"; exit 1; }
+
+# Short fuzz smoke: each target runs with a small time budget on top of
+# its checked-in seed corpus (testdata/fuzz). go test allows one -fuzz
+# target per invocation, hence the separate runs.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/xpath
+	$(GO) test -run=^$$ -fuzz=FuzzCompile -fuzztime=$(FUZZTIME) ./internal/xpath
+	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/dist
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeEnvelope -fuzztime=$(FUZZTIME) ./internal/dist
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

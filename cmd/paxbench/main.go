@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries or all")
+	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, concurrent or all")
 	scale := flag.Float64("scale", 0.02, "data scale relative to the paper's 100MB baseline")
 	runs := flag.Int("runs", 3, "runs per data point (median reported)")
 	steps := flag.Int("steps", 10, "experiment 2/3 iterations")
@@ -37,7 +37,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	workers := flag.Int("workers", 8, "concurrent mode: parallel query streams")
-	load := flag.Int("load", 25, "concurrent mode: queries per worker")
+	load := flag.Int("load", 25, "concurrent mode: queries per worker; diff mode: seeds")
+	sitePar := flag.Int("site-parallelism", 0, "concurrent mode: per-site fragment evaluation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	cfg := harness.Config{Scale: *scale, MaxFrags: *frags, Steps: *steps, Runs: *runs, Seed: *seed}
@@ -92,7 +93,7 @@ func main() {
 		fmt.Println()
 	}
 	runConcurrent := func() {
-		rep, err := harness.ConcurrentLoad(cfg, *workers, *load)
+		rep, err := harness.ConcurrentLoadParallelism(cfg, *workers, *load, *sitePar)
 		if rep != nil {
 			fmt.Println(rep)
 		}
@@ -101,6 +102,29 @@ func main() {
 		}
 		if rep.Violations > 0 {
 			fatal(fmt.Errorf("%d queries exceeded the per-query visit bound", rep.Violations))
+		}
+	}
+	runDiff := func() {
+		// Differential mode: distributed vs centralized on random (tree,
+		// query, fragmentation) instances, over both transports, with
+		// parallel-vs-sequential site evaluation cross-checked.
+		for _, tr := range []harness.DiffTransport{harness.DiffLocal, harness.DiffTCP} {
+			res, err := harness.DifferentialSweep(*seed, *load, harness.DiffOptions{
+				Transport:       tr,
+				CompareParallel: true,
+			})
+			if res != nil {
+				fmt.Printf("%s %s\n", tr, res)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			if !res.Ok() {
+				for _, d := range res.FailureDetails {
+					fmt.Println("  " + d)
+				}
+				fatal(fmt.Errorf("differential checks failed on the %s transport", tr))
+			}
 		}
 	}
 	runQueries := func() {
@@ -127,6 +151,8 @@ func main() {
 		runTraffic()
 	case "concurrent":
 		runConcurrent()
+	case "diff":
+		runDiff()
 	case "t2":
 		runT2()
 	case "queries":

@@ -8,9 +8,10 @@
 //
 //	paxserve -addr :8377 -file data.xml -frags 4 -sites 2
 //
-// Serve a generated XMark document over real TCP sites on loopback:
+// Serve a generated XMark document over real TCP sites on loopback, with
+// admission control and per-request deadlines:
 //
-//	paxserve -xmark-mb 5 -sites 4 -tcp
+//	paxserve -xmark-mb 5 -sites 4 -tcp -max-inflight 64 -queue-timeout 100ms -request-timeout 5s
 //
 // Query it:
 //
@@ -18,14 +19,33 @@
 //	curl -d '{"query":"//broker[//stock/code = \"GOOG\"]/name","algorithm":"pax3"}' localhost:8377/query
 //	curl localhost:8377/healthz
 //	curl localhost:8377/statsz
+//	curl localhost:8377/metrics
+//
+// Operational behavior:
+//
+//   - -max-inflight bounds concurrently admitted evaluations; excess load
+//     is shed with HTTP 503 (or queued up to -queue-timeout first).
+//   - -request-timeout bounds each evaluation end to end; a deadline hit
+//     returns HTTP 504. The deadline travels as a context down to the
+//     site transport, so a hung site cannot wedge an HTTP worker.
+//   - SIGINT/SIGTERM trigger graceful shutdown: the listener stops, then
+//     in-flight requests get up to -shutdown-grace to finish before the
+//     cluster is torn down.
+//   - /metrics exposes serving and transport lifetime counters in the
+//     Prometheus text format.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"paxq"
 )
@@ -42,6 +62,11 @@ func main() {
 	sites := flag.Int("sites", 0, "number of sites (default one per fragment)")
 	tcp := flag.Bool("tcp", false, "deploy sites as TCP servers on loopback instead of in-process")
 	seed := flag.Int64("seed", 1, "fragmentation / generation seed")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently evaluated queries (0 = unlimited)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "admission control: how long a query may queue for a slot before shedding (0 = shed immediately)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request evaluation deadline (0 = none)")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
+	siteParallel := flag.Int("site-parallelism", 0, "per-site fragment evaluation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	var doc *paxq.Document
@@ -51,10 +76,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		doc, err = paxq.ParseDocument(f)
+		var perr error
+		doc, perr = paxq.ParseDocument(f)
 		f.Close()
-		if err != nil {
-			fatal(err)
+		if perr != nil {
+			fatal(perr)
 		}
 	case *xmarkMB > 0:
 		doc = paxq.GenerateXMark(*xmarkSites, *xmarkMB, *seed)
@@ -74,6 +100,9 @@ func main() {
 		Sites:            *sites,
 		Transport:        transport,
 		Seed:             *seed,
+		MaxInFlight:      *maxInflight,
+		QueueTimeout:     *queueTimeout,
+		SiteParallelism:  *siteParallel,
 	})
 	if err != nil {
 		fatal(err)
@@ -82,10 +111,26 @@ func main() {
 
 	log.Printf("paxserve: %d nodes, %d fragments over %d sites (tcp=%v), listening on %s",
 		doc.Nodes(), cluster.Fragments(), cluster.Sites(), *tcp, *addr)
-	srv := newServer(cluster)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: newServer(cluster, *reqTimeout).handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
 		fatal(err)
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately
+	log.Printf("paxserve: shutting down (up to %v for in-flight requests)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("paxserve: shutdown: %v", err)
+	}
+	log.Printf("paxserve: bye")
 }
 
 // multiFlag collects a repeatable string flag.

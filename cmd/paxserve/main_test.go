@@ -44,7 +44,7 @@ func testServer(t *testing.T, transport paxq.TransportKind) *httptest.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(cluster.Close)
-	ts := httptest.NewServer(newServer(cluster).handler())
+	ts := httptest.NewServer(newServer(cluster, 0).handler())
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"paxq"
+)
+
+// overloadServer builds a server over a cluster admitting one query at a
+// time with no queueing, so concurrent load must shed.
+func overloadServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	doc, err := paxq.ParseDocumentString(brokerDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := paxq.NewCluster(doc, paxq.ClusterOptions{
+		CutPaths:    []string{"//broker"},
+		Sites:       2,
+		MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	ts := httptest.NewServer(newServer(cluster, time.Minute).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestServeShedsWith503 hammers an admission-limited server; every
+// response is either a served 200 or an explicit 503 — never a hang, never
+// a wrong-query artifact from evicted state.
+func TestServeShedsWith503(t *testing.T) {
+	ts := overloadServer(t)
+	const workers = 12
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[int]int{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/query?q=//stock/code")
+			if err != nil {
+				t.Errorf("transport error: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			counts[resp.StatusCode]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if counts[http.StatusOK] == 0 {
+		t.Error("no request was served")
+	}
+	for code := range counts {
+		if code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Errorf("unexpected status %d under overload (%v)", code, counts)
+		}
+	}
+
+	// The overload counter on /statsz reflects the shed requests.
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(stats["overloaded"].(float64)); got != counts[http.StatusServiceUnavailable] {
+		t.Errorf("statsz overloaded = %d, want %d", got, counts[http.StatusServiceUnavailable])
+	}
+}
+
+// TestServeMetricsEndpoint checks the Prometheus exposition: counters
+// present, and transport byte totals grow with served queries.
+func TestServeMetricsEndpoint(t *testing.T) {
+	ts := testServer(t, paxq.TransportLocal)
+	body, _ := json.Marshal(queryRequest{Query: "//stock/code"})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, metric := range []string{
+		"paxserve_queries_total 1",
+		"paxserve_errors_total 0",
+		"paxserve_overloaded_total 0",
+		"paxserve_transport_sent_bytes_total",
+		"paxserve_transport_received_bytes_total",
+		"paxserve_transport_site_visits_total",
+		"paxserve_transport_compute_seconds_total",
+		"paxserve_uptime_seconds",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("/metrics missing %q in:\n%s", metric, text)
+		}
+	}
+	// The query visited sites; the lifetime visit counter cannot be zero.
+	if strings.Contains(text, "paxserve_transport_site_visits_total 0\n") {
+		t.Error("site visits not accounted in /metrics")
+	}
+}

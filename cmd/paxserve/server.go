@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -14,13 +16,19 @@ import (
 // server wires a Cluster to HTTP. The Cluster is safe for concurrent
 // evaluation, so requests are served directly on net/http's per-connection
 // goroutines — the cluster is the serving layer, the server only
-// translates.
+// translates. Each request's context (client disconnect + the configured
+// per-request timeout) is propagated through the cluster down to the
+// transport, so a hung site can never wedge an HTTP worker.
 type server struct {
 	cluster *paxq.Cluster
 	started time.Time
+	// timeout bounds each evaluation; 0 = no server-imposed deadline.
+	timeout time.Duration
 
-	queries atomic.Int64 // completed evaluations
-	errors  atomic.Int64 // failed evaluations (bad query, site failure)
+	queries    atomic.Int64 // completed evaluations
+	errors     atomic.Int64 // failed evaluations (bad query, site failure)
+	overloaded atomic.Int64 // evaluations shed by admission control
+	timeouts   atomic.Int64 // evaluations that hit a deadline
 }
 
 // queryRequest is the POST /query body. GET /query?q=... fills only Query
@@ -45,8 +53,8 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func newServer(cluster *paxq.Cluster) *server {
-	return &server{cluster: cluster, started: time.Now()}
+func newServer(cluster *paxq.Cluster, timeout time.Duration) *server {
+	return &server{cluster: cluster, started: time.Now(), timeout: timeout}
 }
 
 // handler returns the server's route table.
@@ -55,6 +63,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -95,18 +104,28 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Annotations != nil {
 		annotations = *req.Annotations
 	}
-	answers, stats, err := s.cluster.Query(req.Query, paxq.QueryOptions{
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	answers, stats, err := s.cluster.QueryContext(ctx, req.Query, paxq.QueryOptions{
 		Algorithm:   req.Algorithm,
 		Annotations: annotations,
 		ShipXML:     req.ShipXML,
 	})
 	if err != nil {
-		s.errors.Add(1)
-		status := http.StatusBadRequest
-		if paxq.CompileCheck(req.Query) == nil {
-			status = http.StatusBadGateway // valid request, cluster-side failure
+		if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+			// The client went away mid-evaluation; nobody reads this
+			// response and the cluster did nothing wrong — don't count it
+			// as a server error. 499 is the de-facto "client closed
+			// request" status.
+			writeJSON(w, statusClientClosedRequest, errorResponse{Error: err.Error()})
+			return
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		s.errors.Add(1)
+		writeJSON(w, s.statusFor(req.Query, err), errorResponse{Error: err.Error()})
 		return
 	}
 	s.queries.Add(1)
@@ -114,6 +133,30 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		answers = []paxq.Answer{}
 	}
 	writeJSON(w, http.StatusOK, queryResponse{Answers: answers, Stats: stats})
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the evaluation finished.
+const statusClientClosedRequest = 499
+
+// statusFor classifies an evaluation failure: shed load is 503 (retryable,
+// with Retry-After semantics left to the client), a deadline is 504, a
+// malformed query is the client's 400, and anything else from a valid
+// query is a cluster-side 502. (A client disconnect is handled before this
+// is called.)
+func (s *server) statusFor(query string, err error) int {
+	switch {
+	case errors.Is(err, paxq.ErrOverloaded):
+		s.overloaded.Add(1)
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		return http.StatusGatewayTimeout
+	case paxq.CompileCheck(query) == nil:
+		return http.StatusBadGateway
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -134,7 +177,34 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":         queries,
 		"errors":          s.errors.Load(),
+		"overloaded":      s.overloaded.Load(),
+		"timeouts":        s.timeouts.Load(),
 		"uptime_seconds":  uptime.Seconds(),
 		"queries_per_sec": qps,
 	})
+}
+
+// handleMetrics exposes the serving counters and the transport's lifetime
+// cost counters in the Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ts := s.cluster.TransportStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	counter("paxserve_queries_total", "Completed evaluations.", s.queries.Load())
+	counter("paxserve_errors_total", "Failed evaluations.", s.errors.Load())
+	counter("paxserve_overloaded_total", "Evaluations shed by admission control.", s.overloaded.Load())
+	counter("paxserve_timeouts_total", "Evaluations that exceeded a deadline.", s.timeouts.Load())
+	counter("paxserve_transport_sent_bytes_total", "Bytes sent coordinator to sites.", ts.BytesSent)
+	counter("paxserve_transport_received_bytes_total", "Bytes received from sites.", ts.BytesReceived)
+	counter("paxserve_transport_site_visits_total", "Site calls completed.", ts.TotalVisits)
+	counter("paxserve_transport_compute_seconds_total", "Summed site computation time.", ts.TotalCompute.Seconds())
+	fmt.Fprintf(&b, "# HELP paxserve_uptime_seconds Seconds since start.\n# TYPE paxserve_uptime_seconds gauge\npaxserve_uptime_seconds %f\n",
+		time.Since(s.started).Seconds())
+	for site, visits := range ts.SiteVisits {
+		fmt.Fprintf(&b, "paxserve_site_visits_total{site=\"%d\"} %d\n", site, visits)
+	}
+	w.Write([]byte(b.String()))
 }

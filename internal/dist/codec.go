@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Register makes a concrete request or response type known to the codec.
@@ -22,12 +23,48 @@ type reqEnvelope struct {
 	Req any
 }
 
+// nanos is a duration in nanoseconds with a fixed 8-byte gob encoding.
+// The default varint encoding would make a response's wire size depend on
+// the magnitude of the site's computation time, so byte totals would
+// jitter from run to run; with a fixed width, identical payloads produce
+// identical frame sizes regardless of timing. Writers must keep the value
+// strictly positive: gob omits zero-valued fields even for custom
+// encoders, which would reintroduce a size difference.
+type nanos int64
+
+// GobEncode encodes the value as 8 big-endian bytes.
+func (n nanos) GobEncode() ([]byte, error) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(n))
+	return b[:], nil
+}
+
+// GobDecode decodes the fixed 8-byte form.
+func (n *nanos) GobDecode(p []byte) error {
+	if len(p) != 8 {
+		return fmt.Errorf("dist: nanos field has %d bytes, want 8", len(p))
+	}
+	*n = nanos(binary.BigEndian.Uint64(p))
+	return nil
+}
+
+// clampNanos converts a measured duration to the wire field, keeping it
+// strictly positive so the fixed-width encoding is never gob-omitted.
+func clampNanos(d time.Duration) nanos {
+	if d <= 0 {
+		return 1
+	}
+	return nanos(d)
+}
+
 // respEnvelope is the payload of a response frame. Exactly one of Resp and
-// Err is meaningful; ComputeNanos is the handler's wall time at the site.
+// Err is meaningful; ComputeNanos is the handler's computation time at the
+// site (self-reported via ComputeReporter when the site evaluated in
+// parallel, measured wall time otherwise).
 type respEnvelope struct {
 	Resp         any
 	Err          string
-	ComputeNanos int64
+	ComputeNanos nanos
 }
 
 // frameHeader is the size of the length prefix preceding every payload.
@@ -76,6 +113,13 @@ func writeFrame(w io.Writer, payload []byte) (int64, error) {
 	return int64(len(frame)), nil
 }
 
+// maxEagerAlloc caps the buffer allocated up front for an incoming frame.
+// A corrupt or hostile length prefix may announce up to maxFrame (1 GiB);
+// committing that allocation before any payload bytes arrive would let a
+// 4-byte header pin a gigabyte per connection. Larger frames grow the
+// buffer as the bytes actually stream in.
+const maxEagerAlloc = 1 << 20
+
 // readFrame reads one length-prefixed payload and the total bytes taken
 // off the wire.
 func readFrame(r io.Reader) ([]byte, int64, error) {
@@ -87,9 +131,20 @@ func readFrame(r io.Reader) ([]byte, int64, error) {
 	if n > maxFrame {
 		return nil, 0, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if n <= maxEagerAlloc {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, 0, err
+		}
+		return payload, frameHeader + int64(n), nil
+	}
+	var buf bytes.Buffer
+	buf.Grow(maxEagerAlloc)
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, 0, err
 	}
-	return payload, frameHeader + int64(n), nil
+	return buf.Bytes(), frameHeader + int64(n), nil
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -31,6 +32,30 @@ type CallCost struct {
 // zero reports whether the round trip never completed.
 func (c CallCost) zero() bool { return c == CallCost{} }
 
+// ComputeReporter lets a handler response carry a self-measured
+// computation cost. When a site evaluates a request's fragments in
+// parallel, the handler's wall time under-reports the work actually done;
+// a response implementing ComputeReporter supplies the summed per-fragment
+// computation instead, and the transport uses it as CallCost.Compute.
+//
+// TakeComputeCost returns the reported cost and zeroes it in place, so the
+// field never reaches the wire: response payload bytes stay identical
+// whether the site evaluated sequentially or in parallel.
+type ComputeReporter interface {
+	TakeComputeCost() time.Duration
+}
+
+// takeCompute extracts a handler-reported compute cost from the response,
+// falling back to the measured wall time.
+func takeCompute(resp any, wall time.Duration) time.Duration {
+	if cr, ok := resp.(ComputeReporter); ok {
+		if d := cr.TakeComputeCost(); d > 0 {
+			return d
+		}
+	}
+	return wall
+}
+
 // Transport is the coordinator's view of the cluster: synchronous
 // request/response calls to sites with per-call cost reporting, plus
 // cumulative lifetime counters.
@@ -43,8 +68,12 @@ type Transport interface {
 	// Call sends req to the site and returns its response plus the cost of
 	// the round trip. A handler error is returned as-is (with a valid
 	// cost); transport failures are reported with the site identified and
-	// a zero cost.
-	Call(to SiteID, req any) (any, CallCost, error)
+	// a zero cost. The context bounds the whole round trip: dialing,
+	// writing, site computation and reading. A context that expires
+	// mid-call fails the call with the context's error; work already
+	// started at the site is not interrupted (its cost is simply not
+	// observed by this caller).
+	Call(ctx context.Context, to SiteID, req any) (any, CallCost, error)
 	// Metrics returns the transport's cumulative lifetime counters — the
 	// sum of every CallCost it ever reported. The same instance is
 	// returned for the transport's lifetime. Per-query accounting derives
@@ -79,7 +108,7 @@ func invokeHandler(h Handler, req any) (resp any, err error) {
 // The cost map holds an entry for every call whose round trip completed,
 // including calls that returned a handler error — even on a failed
 // broadcast the caller can account the work the sites actually did.
-func Broadcast(tr Transport, sites []SiteID, mk func(SiteID) any) (map[SiteID]any, map[SiteID]CallCost, error) {
+func Broadcast(ctx context.Context, tr Transport, sites []SiteID, mk func(SiteID) any) (map[SiteID]any, map[SiteID]CallCost, error) {
 	type call struct {
 		site SiteID
 		req  any
@@ -98,7 +127,7 @@ func Broadcast(tr Transport, sites []SiteID, mk func(SiteID) any) (map[SiteID]an
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resps[i], costs[i], errs[i] = tr.Call(c.site, c.req)
+			resps[i], costs[i], errs[i] = tr.Call(ctx, c.site, c.req)
 		}()
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -63,7 +64,7 @@ func TestRegisterDuplicateIsNoop(t *testing.T) {
 func TestLocalRoundTrip(t *testing.T) {
 	l := localCluster(1, 2)
 	defer l.Close()
-	resp, _, err := l.Call(2, &echoReq{Payload: "hello"})
+	resp, _, err := l.Call(context.Background(), 2, &echoReq{Payload: "hello"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestLocalRoundTrip(t *testing.T) {
 func TestLocalHandlerErrorPropagates(t *testing.T) {
 	l := localCluster(1)
 	defer l.Close()
-	if _, _, err := l.Call(1, &echoReq{Payload: "fail:broken qualifier"}); err == nil || !strings.Contains(err.Error(), "broken qualifier") {
+	if _, _, err := l.Call(context.Background(), 1, &echoReq{Payload: "fail:broken qualifier"}); err == nil || !strings.Contains(err.Error(), "broken qualifier") {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -84,7 +85,7 @@ func TestLocalHandlerErrorPropagates(t *testing.T) {
 func TestLocalUnknownSite(t *testing.T) {
 	l := localCluster(1)
 	defer l.Close()
-	if _, _, err := l.Call(9, &echoReq{}); err == nil || !strings.Contains(err.Error(), "unknown site") {
+	if _, _, err := l.Call(context.Background(), 9, &echoReq{}); err == nil || !strings.Contains(err.Error(), "unknown site") {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -93,7 +94,7 @@ func TestLocalUnregisteredTypeFails(t *testing.T) {
 	l := NewLocal()
 	defer l.Close()
 	l.AddSite(1, func(req any) (any, error) { return req, nil })
-	if _, _, err := l.Call(1, &unregistered{X: 1}); err == nil {
+	if _, _, err := l.Call(context.Background(), 1, &unregistered{X: 1}); err == nil {
 		t.Fatal("unregistered request type must fail the call")
 	}
 }
@@ -107,10 +108,10 @@ func TestLocalFaultHookInjection(t *testing.T) {
 		}
 		return nil
 	}
-	if _, _, err := l.Call(1, &echoReq{Payload: "ok"}); err != nil {
+	if _, _, err := l.Call(context.Background(), 1, &echoReq{Payload: "ok"}); err != nil {
 		t.Fatalf("unaffected site failed: %v", err)
 	}
-	_, _, err := l.Call(2, &echoReq{Payload: "ok"})
+	_, _, err := l.Call(context.Background(), 2, &echoReq{Payload: "ok"})
 	if err == nil || !strings.Contains(err.Error(), "injected") {
 		t.Fatalf("err = %v", err)
 	}
@@ -123,7 +124,7 @@ func TestLocalFaultHookInjection(t *testing.T) {
 		t.Errorf("bytes = %d/%d after one successful call", sent, recv)
 	}
 	l.FaultHook = nil
-	if _, _, err := l.Call(2, &echoReq{Payload: "ok"}); err != nil {
+	if _, _, err := l.Call(context.Background(), 2, &echoReq{Payload: "ok"}); err != nil {
 		t.Fatalf("after clearing hook: %v", err)
 	}
 }
@@ -134,7 +135,7 @@ func TestLocalHandlerPanicBecomesError(t *testing.T) {
 	l.AddSite(1, func(req any) (any, error) { panic("boom") })
 	// A panicking handler must fail the call, not crash the process —
 	// matching the TCP transport's behavior.
-	if _, _, err := l.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, _, err := l.Call(context.Background(), 1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -151,7 +152,7 @@ func TestMetricsAccounting(t *testing.T) {
 	if s, r := m.Bytes(); s != 0 || r != 0 {
 		t.Fatalf("fresh metrics: %d/%d", s, r)
 	}
-	if _, _, err := l.Call(1, &echoReq{Payload: "a"}); err != nil {
+	if _, _, err := l.Call(context.Background(), 1, &echoReq{Payload: "a"}); err != nil {
 		t.Fatal(err)
 	}
 	sent1, recv1 := m.Bytes()
@@ -167,7 +168,7 @@ func TestMetricsAccounting(t *testing.T) {
 	}
 
 	// Monotonicity: a second call strictly grows bytes, compute, visits.
-	if _, _, err := l.Call(1, &echoReq{Payload: "a"}); err != nil {
+	if _, _, err := l.Call(context.Background(), 1, &echoReq{Payload: "a"}); err != nil {
 		t.Fatal(err)
 	}
 	sent2, recv2 := m.Bytes()
@@ -200,7 +201,7 @@ func TestBroadcastFanOut(t *testing.T) {
 
 	// mk runs sequentially over sites in the given order.
 	var mkOrder []SiteID
-	resps, _, err := Broadcast(l, sites, func(id SiteID) any {
+	resps, _, err := Broadcast(context.Background(), l, sites, func(id SiteID) any {
 		mkOrder = append(mkOrder, id)
 		if id == 1 {
 			return nil // skipped site
@@ -233,7 +234,7 @@ func TestBroadcastFirstErrorPropagation(t *testing.T) {
 	defer l.Close()
 	// Sites 2 and 7 both fail; slice order is 4, 2, 7, so the reported
 	// error must deterministically be site 2's.
-	_, _, err := Broadcast(l, sites, func(id SiteID) any {
+	_, _, err := Broadcast(context.Background(), l, sites, func(id SiteID) any {
 		if id == 2 || id == 7 {
 			return &echoReq{Payload: fmt.Sprintf("fail:site %d down", id)}
 		}
@@ -266,7 +267,7 @@ func TestBroadcastConcurrent(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := Broadcast(l, sites, func(SiteID) any { return &echoReq{} })
+		_, _, err := Broadcast(context.Background(), l, sites, func(SiteID) any { return &echoReq{} })
 		done <- err
 	}()
 	select {

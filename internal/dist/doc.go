@@ -8,11 +8,15 @@
 //
 // A site is addressed by a SiteID and served by a Handler — a function
 // taking one request value and returning one response value or an error.
-// The coordinator holds a Transport and issues Call(site, req) round trips;
-// Broadcast fans a stage out over many sites concurrently. Both sides
-// exchange ordinary Go values; every concrete request and response type
-// must be made known to the codec with Register (typically from an init
-// function, as internal/pax does for its stage messages).
+// The coordinator holds a Transport and issues Call(ctx, site, req) round
+// trips; Broadcast fans a stage out over many sites concurrently. The
+// context bounds the whole round trip — dialing, writing, site
+// computation, reading — so a hung site fails the call at the caller's
+// deadline instead of wedging it (the TCP client unblocks in-flight I/O
+// by poisoning the connection's deadline and discards the connection).
+// Both sides exchange ordinary Go values; every concrete request and
+// response type must be made known to the codec with Register (typically
+// from an init function, as internal/pax does for its stage messages).
 //
 // Two implementations exist with identical semantics:
 //
@@ -32,9 +36,14 @@
 // connection history). A request frame carries reqEnvelope{Req}; a response
 // frame carries respEnvelope{Resp, Err, ComputeNanos}. A handler error
 // travels back as Err and is surfaced by Call as an error; ComputeNanos is
-// the handler's wall time at the site, which the client accounts to that
-// site's Metrics so ComputeAt reflects remote computation, not network
-// latency.
+// the handler's computation time at the site, which the client accounts to
+// that site's Metrics so ComputeAt reflects remote computation, not
+// network latency. It encodes with a fixed width so a frame's size never
+// depends on timing, and a handler whose response implements
+// ComputeReporter (a site that evaluated fragments in parallel) supplies
+// the summed per-fragment computation in place of measured wall time —
+// the field is consumed and zeroed before encoding either way, keeping
+// response payloads identical across scheduling modes.
 //
 // # Cost accounting
 //

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -36,8 +37,13 @@ func (l *Local) AddSite(id SiteID, h Handler) {
 
 // Call delivers req to the site's handler and meters the round trip. The
 // returned CallCost is valid whenever the handler ran, including when it
-// returned an error.
-func (l *Local) Call(to SiteID, req any) (any, CallCost, error) {
+// returned an error. A context that is already expired fails the call
+// before the handler runs; the handler itself is synchronous and is not
+// interrupted by a later cancellation.
+func (l *Local) Call(ctx context.Context, to SiteID, req any) (any, CallCost, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, CallCost{}, fmt.Errorf("dist: site %d: %w", to, err)
+	}
 	l.mu.RLock()
 	h, ok := l.handlers[to]
 	l.mu.RUnlock()
@@ -55,8 +61,8 @@ func (l *Local) Call(to SiteID, req any) (any, CallCost, error) {
 	}
 	start := time.Now()
 	resp, herr := invokeHandler(h, req)
-	compute := time.Since(start)
-	env := respEnvelope{ComputeNanos: int64(compute)}
+	compute := takeCompute(resp, time.Since(start))
+	env := respEnvelope{ComputeNanos: clampNanos(compute)}
 	if herr != nil {
 		env.Err = herr.Error()
 	} else {

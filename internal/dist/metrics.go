@@ -86,6 +86,45 @@ func (m *Metrics) Reset() {
 	clear(m.visits)
 }
 
+// MetricsSnapshot is a point-in-time copy of a Metrics' counters, safe to
+// read without further synchronization. Compute and Visits are fresh maps
+// owned by the caller.
+type MetricsSnapshot struct {
+	Sent    int64
+	Recv    int64
+	Compute map[SiteID]time.Duration
+	Visits  map[SiteID]int
+}
+
+// TotalVisits sums the per-site visit counts.
+func (s MetricsSnapshot) TotalVisits() int {
+	n := 0
+	for _, v := range s.Visits {
+		n += v
+	}
+	return n
+}
+
+// Snapshot returns a consistent copy of every counter. It backs metrics
+// endpoints that export the transport's lifetime totals.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsSnapshot{
+		Sent:    m.sent,
+		Recv:    m.recv,
+		Compute: make(map[SiteID]time.Duration, len(m.compute)),
+		Visits:  make(map[SiteID]int, len(m.visits)),
+	}
+	for site, d := range m.compute {
+		out.Compute[site] = d
+	}
+	for site, n := range m.visits {
+		out.Visits[site] = n
+	}
+	return out
+}
+
 // Add accounts one completed round trip to the site: its wire bytes, the
 // handler time, and one visit.
 func (m *Metrics) Add(site SiteID, c CallCost) {

@@ -3,6 +3,7 @@
 package dist
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -18,7 +19,7 @@ func TestTCPStalePooledConnRedials(t *testing.T) {
 	addr := srv.Addr()
 	tr := NewTCP(map[SiteID]string{1: addr})
 	defer tr.Close()
-	if _, _, err := tr.Call(1, &echoReq{Payload: "warm"}); err != nil {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{Payload: "warm"}); err != nil {
 		t.Fatal(err)
 	}
 	// Restart the site on the same address: the pooled connection is now
@@ -42,7 +43,7 @@ func TestTCPStalePooledConnRedials(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	resp, _, err := tr.Call(1, &echoReq{Payload: "after-restart"})
+	resp, _, err := tr.Call(context.Background(), 1, &echoReq{Payload: "after-restart"})
 	if err != nil {
 		t.Fatalf("call after site restart: %v", err)
 	}

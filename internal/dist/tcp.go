@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -101,7 +102,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		} else {
 			start := time.Now()
 			resp, herr := invokeHandler(s.h, req.Req)
-			env.ComputeNanos = int64(time.Since(start))
+			env.ComputeNanos = clampNanos(takeCompute(resp, time.Since(start)))
 			if herr != nil {
 				env.Err = herr.Error()
 			} else {
@@ -198,8 +199,8 @@ func (t *TCP) popIdle(to SiteID) (net.Conn, error) {
 }
 
 // getConn returns a healthy connection for the site: a pooled one that
-// passes the staleness probe, else a fresh dial.
-func (t *TCP) getConn(to SiteID) (net.Conn, error) {
+// passes the staleness probe, else a fresh dial bounded by ctx.
+func (t *TCP) getConn(ctx context.Context, to SiteID) (net.Conn, error) {
 	for {
 		conn, err := t.popIdle(to)
 		if err != nil {
@@ -220,7 +221,8 @@ func (t *TCP) getConn(to SiteID) (net.Conn, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("dist: unknown site %d", to)
 	}
-	conn, err := net.Dial("tcp", addr)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: dial site %d (%s): %w", to, addr, err)
 	}
@@ -260,21 +262,43 @@ func (t *TCP) dropConn(conn net.Conn) {
 // errors identify the site and carry a zero cost. The lifetime Metrics are
 // updated once per completed round trip with the bytes actually put on the
 // wire and the handler time the server reported.
-func (t *TCP) Call(to SiteID, req any) (any, CallCost, error) {
+//
+// The context bounds the whole round trip. Cancellation or deadline
+// expiry unblocks any in-flight read or write by poisoning the
+// connection's I/O deadline; the connection is then discarded (its stream
+// may hold a half-delivered frame), and the call fails with the context's
+// error.
+func (t *TCP) Call(ctx context.Context, to SiteID, req any) (any, CallCost, error) {
 	payload, err := encodePayload(reqEnvelope{Req: req})
 	if err != nil {
 		return nil, CallCost{}, err
 	}
-	conn, err := t.getConn(to)
+	conn, err := t.getConn(ctx, to)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, CallCost{}, fmt.Errorf("dist: site %d: %w", to, ctxErr)
+		}
 		return nil, CallCost{}, err
 	}
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Unix(1, 0)) // the distant past: fail all I/O now
+	})
 	env, sent, recvd, err := roundTrip(conn, payload)
+	canceled := !stop()
 	if err != nil {
 		t.dropConn(conn)
+		if ctxErr := ctx.Err(); canceled && ctxErr != nil {
+			return nil, CallCost{}, fmt.Errorf("dist: site %d: %w", to, ctxErr)
+		}
 		return nil, CallCost{}, fmt.Errorf("dist: site %d: %w", to, err)
 	}
-	t.putConn(to, conn)
+	if canceled {
+		// The round trip won the race against cancellation, but the
+		// poisoned deadline makes the connection unusable for pooling.
+		t.dropConn(conn)
+	} else {
+		t.putConn(to, conn)
+	}
 	cost := CallCost{Sent: sent, Recv: recvd, Compute: time.Duration(env.ComputeNanos)}
 	t.m.Add(to, cost)
 	if env.Err != "" {

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -31,7 +32,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	tr, _ := tcpCluster(t, 1, 2)
 	for i := 0; i < 3; i++ { // repeated calls exercise the connection pool
 		for _, id := range []SiteID{1, 2} {
-			resp, _, err := tr.Call(id, &echoReq{Payload: "ping"})
+			resp, _, err := tr.Call(context.Background(), id, &echoReq{Payload: "ping"})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -51,12 +52,12 @@ func TestTCPRoundTrip(t *testing.T) {
 
 func TestTCPServerErrorPropagation(t *testing.T) {
 	tr, _ := tcpCluster(t, 1)
-	_, _, err := tr.Call(1, &echoReq{Payload: "fail:no such fragment"})
+	_, _, err := tr.Call(context.Background(), 1, &echoReq{Payload: "fail:no such fragment"})
 	if err == nil || !strings.Contains(err.Error(), "no such fragment") {
 		t.Fatalf("err = %v", err)
 	}
 	// The connection survives a handler error.
-	if _, _, err := tr.Call(1, &echoReq{Payload: "ok"}); err != nil {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{Payload: "ok"}); err != nil {
 		t.Fatalf("call after handler error: %v", err)
 	}
 }
@@ -69,7 +70,7 @@ func TestTCPHandlerPanicBecomesError(t *testing.T) {
 	defer srv.Close()
 	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
 	defer tr.Close()
-	if _, _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -77,10 +78,10 @@ func TestTCPHandlerPanicBecomesError(t *testing.T) {
 func TestTCPUnknownSiteAndDialFailure(t *testing.T) {
 	tr := NewTCP(map[SiteID]string{1: "127.0.0.1:1"}) // nothing listens on port 1
 	defer tr.Close()
-	if _, _, err := tr.Call(5, &echoReq{}); err == nil || !strings.Contains(err.Error(), "unknown site") {
+	if _, _, err := tr.Call(context.Background(), 5, &echoReq{}); err == nil || !strings.Contains(err.Error(), "unknown site") {
 		t.Fatalf("unknown site err = %v", err)
 	}
-	if _, _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "site 1") {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "site 1") {
 		t.Fatalf("dial err = %v", err)
 	}
 }
@@ -88,7 +89,7 @@ func TestTCPUnknownSiteAndDialFailure(t *testing.T) {
 func TestTCPWireMetrics(t *testing.T) {
 	tr, _ := tcpCluster(t, 1)
 	m := tr.Metrics()
-	if _, _, err := tr.Call(1, &echoReq{Payload: "abc"}); err != nil {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{Payload: "abc"}); err != nil {
 		t.Fatal(err)
 	}
 	sent1, recv1 := m.Bytes()
@@ -97,7 +98,7 @@ func TestTCPWireMetrics(t *testing.T) {
 	}
 	// A larger payload ships more bytes; the delta reflects wire size.
 	big := strings.Repeat("x", 4096)
-	if _, _, err := tr.Call(1, &echoReq{Payload: big}); err != nil {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{Payload: big}); err != nil {
 		t.Fatal(err)
 	}
 	sent2, recv2 := m.Bytes()
@@ -120,14 +121,14 @@ func TestTCPComputeAtReportsServerTime(t *testing.T) {
 	defer srv.Close()
 	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
 	defer tr.Close()
-	if _, _, err := tr.Call(1, &echoReq{}); err != nil {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{}); err != nil {
 		t.Fatal(err)
 	}
 	c1 := tr.Metrics().ComputeAt(1)
 	if c1 < 2*time.Millisecond {
 		t.Errorf("ComputeAt = %v, want >= server handler time", c1)
 	}
-	if _, _, err := tr.Call(1, &echoReq{}); err != nil {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{}); err != nil {
 		t.Fatal(err)
 	}
 	if c2 := tr.Metrics().ComputeAt(1); c2 <= c1 {
@@ -152,7 +153,7 @@ func TestTCPServerCloseWhileInflight(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := tr.Call(1, &echoReq{Payload: "inflight"})
+		_, _, err := tr.Call(context.Background(), 1, &echoReq{Payload: "inflight"})
 		done <- err
 	}()
 	<-started // the request has reached the handler
@@ -184,7 +185,7 @@ func TestTCPClientCloseUnblocksInflightCall(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := tr.Call(1, &echoReq{})
+		_, _, err := tr.Call(context.Background(), 1, &echoReq{})
 		done <- err
 	}()
 	<-started
@@ -208,7 +209,7 @@ func TestUnencodableResponseMetersVisitOnBothTransports(t *testing.T) {
 	l := NewLocal()
 	defer l.Close()
 	l.AddSite(1, bad)
-	if _, _, err := l.Call(1, &echoReq{}); err == nil {
+	if _, _, err := l.Call(context.Background(), 1, &echoReq{}); err == nil {
 		t.Fatal("Local: unencodable response must fail the call")
 	}
 	if v := l.Metrics().MaxVisits(); v != 1 {
@@ -222,7 +223,7 @@ func TestUnencodableResponseMetersVisitOnBothTransports(t *testing.T) {
 	defer srv.Close()
 	tr := NewTCP(map[SiteID]string{1: srv.Addr()})
 	defer tr.Close()
-	if _, _, err := tr.Call(1, &echoReq{}); err == nil {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{}); err == nil {
 		t.Fatal("TCP: unencodable response must fail the call")
 	}
 	if v := tr.Metrics().MaxVisits(); v != 1 {
@@ -232,11 +233,11 @@ func TestUnencodableResponseMetersVisitOnBothTransports(t *testing.T) {
 
 func TestTCPClientCloseFailsCalls(t *testing.T) {
 	tr, _ := tcpCluster(t, 1)
-	if _, _, err := tr.Call(1, &echoReq{}); err != nil {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{}); err != nil {
 		t.Fatal(err)
 	}
 	tr.Close()
-	if _, _, err := tr.Call(1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "closed") {
+	if _, _, err := tr.Call(context.Background(), 1, &echoReq{}); err == nil || !strings.Contains(err.Error(), "closed") {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -244,7 +245,7 @@ func TestTCPClientCloseFailsCalls(t *testing.T) {
 func TestTCPBroadcast(t *testing.T) {
 	sites := []SiteID{0, 1, 2}
 	tr, _ := tcpCluster(t, sites...)
-	resps, _, err := Broadcast(tr, sites, func(id SiteID) any {
+	resps, _, err := Broadcast(context.Background(), tr, sites, func(id SiteID) any {
 		return &echoReq{Payload: "stage"}
 	})
 	if err != nil {
@@ -286,7 +287,7 @@ func TestTCPConcurrentBroadcasts(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
 				tag := fmt.Sprintf("query-%d-round-%d", w, i)
-				resps, costs, err := Broadcast(tr, sites, func(id SiteID) any {
+				resps, costs, err := Broadcast(context.Background(), tr, sites, func(id SiteID) any {
 					return &echoReq{Payload: tag}
 				})
 				if err != nil {

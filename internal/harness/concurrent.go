@@ -41,7 +41,19 @@ func (r *LoadReport) String() string {
 // without annotations). Every Result is checked against the PaX3 visit
 // bound individually — the per-query guarantee the serving layer
 // preserves under concurrency.
+//
+// Fragments are packed two per site so each stage request fans out over
+// several fragments, exercising site-side parallel fragment evaluation;
+// cfg.SiteParallelism (via ConcurrentLoadParallelism) bounds that
+// fan-out, letting paxbench compare parallel against sequential sites on
+// the same workload.
 func ConcurrentLoad(cfg Config, workers, perWorker int) (*LoadReport, error) {
+	return ConcurrentLoadParallelism(cfg, workers, perWorker, 0)
+}
+
+// ConcurrentLoadParallelism is ConcurrentLoad with an explicit per-site
+// fragment-evaluation parallelism (0 = GOMAXPROCS, 1 = sequential).
+func ConcurrentLoadParallelism(cfg Config, workers, perWorker, siteParallelism int) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
 	if workers < 1 {
 		workers = 1
@@ -54,8 +66,13 @@ func ConcurrentLoad(cfg Config, workers, perWorker int) (*LoadReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	topo := pax.RoundRobin(ft, ft.Len())
-	tcp, shutdown, err := pax.BuildTCPCluster(topo)
+	numSites := (ft.Len() + 1) / 2
+	topo := pax.RoundRobin(ft, numSites)
+	var siteOpts []pax.SiteOption
+	if siteParallelism > 0 {
+		siteOpts = append(siteOpts, pax.SiteParallelism(siteParallelism))
+	}
+	tcp, shutdown, err := pax.BuildTCPCluster(topo, siteOpts...)
 	if err != nil {
 		return nil, err
 	}

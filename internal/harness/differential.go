@@ -1,0 +1,300 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"paxq/internal/centeval"
+	"paxq/internal/fragment"
+	"paxq/internal/pax"
+	"paxq/internal/testutil"
+	"paxq/internal/xmark"
+	"paxq/internal/xmltree"
+	"paxq/internal/xpath"
+)
+
+// The differential harness mechanically checks the paper's headline
+// guarantee: distributed evaluation computes exactly the answer a
+// centralized evaluator would, while visiting each site a bounded number
+// of times — on randomized (tree, query, fragmentation) instances, over
+// the real transports. Every case also cross-checks parallel against
+// sequential site-side fragment evaluation: parallelism may change wall
+// time only, never the answer, the visit counts or the byte totals.
+
+// DiffTransport selects how the differential cluster is deployed.
+type DiffTransport int
+
+// Differential deployment modes.
+const (
+	DiffLocal DiffTransport = iota
+	DiffTCP
+)
+
+func (t DiffTransport) String() string {
+	if t == DiffTCP {
+		return "tcp"
+	}
+	return "local"
+}
+
+// DiffOptions tune one differential seed run.
+type DiffOptions struct {
+	Transport DiffTransport
+	// Queries is how many random queries to evaluate per seed (default 5).
+	Queries int
+	// CompareParallel additionally evaluates every case on a second,
+	// sequential-site cluster of the same fragmentation and requires
+	// identical answers, visit counts and byte totals.
+	CompareParallel bool
+}
+
+// DiffResult aggregates the checks of one or more differential runs.
+type DiffResult struct {
+	Cases          int // (tree, query, fragmentation, variant) evaluations
+	Triples        int // distinct (tree, query, fragmentation) triples
+	Mismatches     int // distributed answer != centralized answer
+	BoundExceeded  int // per-site visits above the algorithm's bound
+	ParallelDiffs  int // parallel vs sequential site evaluation disagreed
+	MaxVisitsPaX3  int
+	MaxVisitsPaX2  int
+	FailureDetails []string // first few failures, for the test log
+}
+
+// Merge folds other into r.
+func (r *DiffResult) Merge(other *DiffResult) {
+	r.Cases += other.Cases
+	r.Triples += other.Triples
+	r.Mismatches += other.Mismatches
+	r.BoundExceeded += other.BoundExceeded
+	r.ParallelDiffs += other.ParallelDiffs
+	if other.MaxVisitsPaX3 > r.MaxVisitsPaX3 {
+		r.MaxVisitsPaX3 = other.MaxVisitsPaX3
+	}
+	if other.MaxVisitsPaX2 > r.MaxVisitsPaX2 {
+		r.MaxVisitsPaX2 = other.MaxVisitsPaX2
+	}
+	if len(r.FailureDetails) < 10 {
+		r.FailureDetails = append(r.FailureDetails, other.FailureDetails...)
+	}
+}
+
+// Ok reports whether every check of every merged run held.
+func (r *DiffResult) Ok() bool {
+	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0
+}
+
+func (r *DiffResult) String() string {
+	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences (max visits: PaX3 %d, PaX2 %d)",
+		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
+}
+
+// xmarkLabels is the vocabulary random xmark-shaped queries draw from.
+var xmarkLabels = []string{
+	"site", "people", "person", "name", "address", "country", "city",
+	"profile", "age", "creditcard", "open_auctions", "open_auction",
+	"annotation", "description", "author", "closed_auctions", "regions",
+	"item", "bidder", "current", "reserve",
+}
+
+// randomXMarkQuery generates a random query in the XMark vocabulary so
+// that queries hit generated documents often: a short path with mixed
+// axes, occasional wildcards and age/country qualifiers.
+func randomXMarkQuery(r *rand.Rand) string {
+	switch r.Intn(6) {
+	case 0:
+		return Q1
+	case 1:
+		return Q3
+	}
+	s := ""
+	steps := 1 + r.Intn(3)
+	for i := 0; i < steps; i++ {
+		sep := "//"
+		if i > 0 && r.Intn(2) == 0 {
+			sep = "/"
+		}
+		label := xmarkLabels[r.Intn(len(xmarkLabels))]
+		if r.Intn(10) == 0 {
+			label = "*"
+		}
+		s += sep + label
+		if r.Intn(4) == 0 {
+			switch r.Intn(3) {
+			case 0:
+				s += fmt.Sprintf("[profile/age > %d]", 18+r.Intn(50))
+			case 1:
+				s += `[address/country = "US"]`
+			default:
+				s += fmt.Sprintf("[%s]", xmarkLabels[r.Intn(len(xmarkLabels))])
+			}
+		}
+	}
+	return s
+}
+
+// diffTree generates the seed's document: alternately a small-alphabet
+// random tree (dense matches, deep nesting) and an XMark document (the
+// paper's workload shape).
+func diffTree(r *rand.Rand, seed int64) (*xmltree.Tree, bool) {
+	if r.Intn(2) == 0 {
+		return testutil.RandomTree(seed, 60+r.Intn(300)), false
+	}
+	spec := xmark.DefaultSite.Scale(0.05 + r.Float64()*0.2)
+	return xmark.Generate(1+r.Intn(2), spec, seed), true
+}
+
+// origAnswerIDs maps distributed answers to original-tree node IDs,
+// sorted, so they compare directly against the centralized answer.
+func origAnswerIDs(ft *fragment.Fragmentation, answers []pax.AnswerNode) []xmltree.NodeID {
+	out := make([]xmltree.NodeID, len(answers))
+	for i, a := range answers {
+		out[i] = ft.Frag(a.Frag).Origin[a.Node]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// visitBound is the paper's per-site visit bound for the algorithm.
+func visitBound(alg pax.Algorithm) int {
+	if alg == pax.PaX2 {
+		return 2
+	}
+	return 3
+}
+
+// RunDifferential executes one randomized differential seed: generate a
+// tree, a fragmentation and a batch of queries — all deterministic in
+// seed — and compare distributed evaluation (PaX3 and PaX2, with and
+// without annotations) against the centralized evaluator, asserting the
+// visit bound on every single Result. Errors are environmental (failed
+// fragmentation, transport setup); differential failures are reported in
+// the DiffResult so a sweep can aggregate them.
+func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
+	if opts.Queries <= 0 {
+		opts.Queries = 5
+	}
+	r := rand.New(rand.NewSource(seed))
+	res := &DiffResult{}
+
+	tree, isXMark := diffTree(r, seed)
+	cuts := fragment.RandomCuts(tree, r.Intn(9), seed+1)
+	ft, err := fragment.Cut(tree, cuts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+	}
+	numSites := 1 + r.Intn(4)
+	topo := pax.RoundRobin(ft, numSites)
+
+	var eng, seqEng *pax.Engine
+	switch opts.Transport {
+	case DiffTCP:
+		tcp, shutdown, err := pax.BuildTCPCluster(topo, pax.SiteParallelism(4))
+		if err != nil {
+			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+		}
+		defer shutdown()
+		eng = pax.NewEngine(topo, tcp)
+		if opts.CompareParallel {
+			stcp, sshutdown, err := pax.BuildTCPCluster(topo, pax.SiteParallelism(1))
+			if err != nil {
+				return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+			}
+			defer sshutdown()
+			seqEng = pax.NewEngine(topo, stcp)
+		}
+	default:
+		local, _ := pax.BuildLocalCluster(topo, pax.SiteParallelism(4))
+		eng = pax.NewEngine(topo, local)
+		if opts.CompareParallel {
+			slocal, _ := pax.BuildLocalCluster(topo, pax.SiteParallelism(1))
+			seqEng = pax.NewEngine(topo, slocal)
+		}
+	}
+
+	fail := func(format string, args ...any) {
+		if len(res.FailureDetails) < 10 {
+			res.FailureDetails = append(res.FailureDetails, fmt.Sprintf(format, args...))
+		}
+	}
+
+	for q := 0; q < opts.Queries; q++ {
+		var query string
+		if isXMark {
+			query = randomXMarkQuery(r)
+		} else {
+			query = testutil.RandomQuery(seed*1000 + int64(q))
+		}
+		c, err := xpath.Compile(query)
+		if err != nil {
+			// The generators emit only valid queries; a parse failure is a
+			// harness bug worth surfacing, not skipping.
+			return nil, fmt.Errorf("harness: seed %d: generated query %q does not compile: %w", seed, query, err)
+		}
+		want := append([]xmltree.NodeID(nil), centeval.EvalVector(tree, c)...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		res.Triples++
+
+		for _, alg := range []pax.Algorithm{pax.PaX3, pax.PaX2} {
+			for _, ann := range []bool{false, true} {
+				popts := pax.Options{Algorithm: alg, Annotations: ann}
+				got, err := eng.Run(query, popts)
+				if err != nil {
+					res.Mismatches++
+					fail("seed %d %s %v(XA=%v) %q: %v", seed, opts.Transport, alg, ann, query, err)
+					continue
+				}
+				res.Cases++
+				if !testutil.EqualIDs(origAnswerIDs(ft, got.Answers), want) {
+					res.Mismatches++
+					fail("seed %d %s %v(XA=%v) %q: %d answers, centralized %d", seed, opts.Transport, alg, ann, query, len(got.Answers), len(want))
+				}
+				if got.MaxVisits > visitBound(alg) {
+					res.BoundExceeded++
+					fail("seed %d %s %v %q: %d visits > bound %d", seed, opts.Transport, alg, query, got.MaxVisits, visitBound(alg))
+				}
+				switch alg {
+				case pax.PaX3:
+					if got.MaxVisits > res.MaxVisitsPaX3 {
+						res.MaxVisitsPaX3 = got.MaxVisits
+					}
+				case pax.PaX2:
+					if got.MaxVisits > res.MaxVisitsPaX2 {
+						res.MaxVisitsPaX2 = got.MaxVisits
+					}
+				}
+				if seqEng != nil {
+					seq, err := seqEng.Run(query, popts)
+					if err != nil {
+						res.ParallelDiffs++
+						fail("seed %d %s %v(XA=%v) %q: sequential twin failed: %v", seed, opts.Transport, alg, ann, query, err)
+						continue
+					}
+					if !testutil.EqualIDs(origAnswerIDs(ft, seq.Answers), origAnswerIDs(ft, got.Answers)) ||
+						seq.MaxVisits != got.MaxVisits ||
+						seq.BytesSent != got.BytesSent || seq.BytesRecv != got.BytesRecv {
+						res.ParallelDiffs++
+						fail("seed %d %s %v(XA=%v) %q: parallel (visits %d, bytes %d/%d) vs sequential (visits %d, bytes %d/%d)",
+							seed, opts.Transport, alg, ann, query,
+							got.MaxVisits, got.BytesSent, got.BytesRecv,
+							seq.MaxVisits, seq.BytesSent, seq.BytesRecv)
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// DifferentialSweep runs seeds [base, base+n) and merges the results.
+func DifferentialSweep(base int64, n int, opts DiffOptions) (*DiffResult, error) {
+	total := &DiffResult{}
+	for i := 0; i < n; i++ {
+		r, err := RunDifferential(base+int64(i), opts)
+		if err != nil {
+			return total, err
+		}
+		total.Merge(r)
+	}
+	return total, nil
+}

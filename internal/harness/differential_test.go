@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"testing"
+)
+
+// requireClean fails the test with the first recorded failure details if
+// any differential check tripped.
+func requireClean(t *testing.T, res *DiffResult) {
+	t.Helper()
+	t.Log(res)
+	if !res.Ok() {
+		for _, d := range res.FailureDetails {
+			t.Error(d)
+		}
+		t.Fatalf("differential checks failed: %s", res)
+	}
+	if res.Triples == 0 || res.Cases == 0 {
+		t.Fatal("differential sweep ran no cases")
+	}
+}
+
+// TestDifferentialLocalSeedCorpus is the tier-1 fixed corpus: 25 seeds × 5
+// queries × {PaX3, PaX2} × {NA, XA} against the centralized evaluator on
+// the in-process transport, with the per-site visit bound asserted for
+// every single evaluation and parallel site evaluation cross-checked
+// against sequential (answers, visit counts and byte totals must match
+// exactly).
+func TestDifferentialLocalSeedCorpus(t *testing.T) {
+	res, err := DifferentialSweep(1, 25, DiffOptions{
+		Transport:       DiffLocal,
+		CompareParallel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, res)
+	if res.Triples < 100 {
+		t.Errorf("corpus covered %d (tree, query, fragmentation) triples, want >= 100", res.Triples)
+	}
+}
+
+// TestDifferentialTCPSeedCorpus runs the same fixed corpus over real TCP
+// sites on loopback: the full wire codec, connection pooling and
+// per-frame accounting are in the loop.
+func TestDifferentialTCPSeedCorpus(t *testing.T) {
+	res, err := DifferentialSweep(1, 25, DiffOptions{Transport: DiffTCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, res)
+	if res.Triples < 100 {
+		t.Errorf("corpus covered %d (tree, query, fragmentation) triples, want >= 100", res.Triples)
+	}
+}
+
+// TestDifferentialExtendedSweep is the randomized long-haul sweep: many
+// more seeds, skipped under -short.
+func TestDifferentialExtendedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended differential sweep skipped with -short")
+	}
+	res, err := DifferentialSweep(1000, 100, DiffOptions{
+		Transport:       DiffLocal,
+		CompareParallel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, res)
+
+	tcpRes, err := DifferentialSweep(2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, tcpRes)
+}

@@ -1,0 +1,225 @@
+package pax
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+	"paxq/internal/testutil"
+)
+
+// gatedCluster builds a local cluster whose site calls park on gate until
+// it is closed, so tests can hold evaluations in flight deterministically.
+func gatedCluster(t *testing.T, gate chan struct{}, opts ...EngineOption) *Engine {
+	t.Helper()
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 2, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := RoundRobin(ft, 2)
+	local, _ := BuildLocalCluster(topo)
+	local.FaultHook = func(dist.SiteID, any) error {
+		if gate != nil {
+			<-gate
+		}
+		return nil
+	}
+	return NewEngine(topo, local, opts...)
+}
+
+// TestAdmissionShedsWithErrOverloaded verifies the shed mode: with
+// MaxInFlight slots occupied and no queueing, a new Run fails immediately
+// and typed, and the occupants complete untouched.
+func TestAdmissionShedsWithErrOverloaded(t *testing.T) {
+	gate := make(chan struct{})
+	eng := gatedCluster(t, gate, WithMaxInFlight(2))
+	query := `//broker/name`
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := eng.Run(query, Options{Algorithm: PaX2})
+			errc <- err
+		}()
+	}
+	// Wait until both runs hold their slots (parked inside the fault hook).
+	waitFor(t, func() bool { return len(eng.inflight) == 2 })
+
+	if _, err := eng.Run(query, Options{Algorithm: PaX2}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third run on a full engine: err = %v, want ErrOverloaded", err)
+	}
+	close(gate)
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Errorf("admitted run failed: %v", err)
+		}
+	}
+	// Slots released: a new run is admitted again.
+	if _, err := eng.Run(query, Options{Algorithm: PaX2}); err != nil {
+		t.Fatalf("run after load dropped: %v", err)
+	}
+}
+
+// TestAdmissionQueueWithDeadline verifies queue mode both ways: a queued
+// run succeeds when a slot frees within the deadline, and sheds with
+// ErrOverloaded when none does.
+func TestAdmissionQueueWithDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	eng := gatedCluster(t, gate, WithMaxInFlight(1), WithQueueTimeout(30*time.Millisecond))
+	query := `//broker/name`
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(query, Options{Algorithm: PaX2})
+		done <- err
+	}()
+	waitFor(t, func() bool { return len(eng.inflight) == 1 })
+
+	// No slot frees within the queue deadline: deterministic shed.
+	if _, err := eng.Run(query, Options{Algorithm: PaX2}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued past deadline: err = %v, want ErrOverloaded", err)
+	}
+
+	// A slot frees while queued: the run is admitted and completes.
+	queued := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(query, Options{Algorithm: PaX2})
+		queued <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let it enter the queue
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("slot holder failed: %v", err)
+	}
+	if err := <-queued; err != nil {
+		t.Fatalf("queued run failed after slot freed: %v", err)
+	}
+}
+
+// TestAdmissionQueueRespectsCallerContext: a caller whose context dies
+// while queued gets the context error, not ErrOverloaded.
+func TestAdmissionQueueRespectsCallerContext(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	eng := gatedCluster(t, gate, WithMaxInFlight(1), WithQueueTimeout(time.Minute))
+	go eng.Run(`//broker/name`, Options{Algorithm: PaX2})
+	waitFor(t, func() bool { return len(eng.inflight) == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := eng.RunContext(ctx, `//broker/name`, Options{Algorithm: PaX2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the caller's deadline error", err)
+	}
+}
+
+// TestRunContextDeadlineStopsStages: an expired context fails the next
+// site round trip instead of letting the query run on.
+func TestRunContextDeadlineStopsStages(t *testing.T) {
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := RoundRobin(ft, 2)
+	local, _ := BuildLocalCluster(topo)
+	eng := NewEngine(topo, local)
+	local.FaultHook = func(dist.SiteID, any) error {
+		time.Sleep(20 * time.Millisecond) // out-sleep the deadline below
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	// A qualified PaX3 query needs several stages; the deadline expires
+	// during the first, so a later Call must fail with the context error.
+	_, err = eng.RunContext(ctx, `//broker[//stock/code = "GOOG"]/name`, Options{Algorithm: PaX3})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// waitFor polls cond briefly; the test fails if it never holds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestParallelSiteMatchesSequentialExactly evaluates the same queries over
+// two clusters of the same fragmentation — sites sequential vs 4-way
+// parallel fragment evaluation — and requires identical answers, visit
+// counts and byte totals: parallelism must change wall time only, never
+// the protocol or the ledger.
+func TestParallelSiteMatchesSequentialExactly(t *testing.T) {
+	tr := testutil.RandomTree(7, 400)
+	cuts := fragment.RandomCuts(tr, 9, 3)
+	build := func(par int) (*Engine, *fragment.Fragmentation) {
+		ft, err := fragment.Cut(tr, cuts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := RoundRobin(ft, 3) // 3 fragments per site: real fan-out
+		local := dist.NewLocal()
+		for _, sid := range topo.Sites() {
+			var frags []*fragment.Fragment
+			for _, fid := range topo.FragsAt(sid) {
+				frags = append(frags, ft.Frag(fid))
+			}
+			site := NewSite(sid, frags)
+			site.SetParallelism(par)
+			local.AddSite(sid, site.Handler())
+		}
+		return NewEngine(topo, local), ft
+	}
+	seqEng, ft := build(1)
+	parEng, _ := build(4)
+
+	queries := []string{
+		`//a[b = "x"]/c`,
+		`/root//d`,
+		`//*[not(b) and c/val() >= 10]`,
+		`a/b//c[d or e]`,
+	}
+	for _, query := range queries {
+		for _, alg := range []Algorithm{PaX3, PaX2} {
+			opts := Options{Algorithm: alg}
+			seq, err := seqEng.Run(query, opts)
+			if err != nil {
+				t.Fatalf("%v %q sequential: %v", alg, query, err)
+			}
+			par, err := parEng.Run(query, opts)
+			if err != nil {
+				t.Fatalf("%v %q parallel: %v", alg, query, err)
+			}
+			label := fmt.Sprintf("%v %q", alg, query)
+			if !testutil.EqualIDs(origIDs(ft, seq.Answers), origIDs(ft, par.Answers)) {
+				t.Errorf("%s: answers differ between sequential and parallel sites", label)
+			}
+			if seq.MaxVisits != par.MaxVisits {
+				t.Errorf("%s: MaxVisits %d (seq) vs %d (par)", label, seq.MaxVisits, par.MaxVisits)
+			}
+			if seq.BytesSent != par.BytesSent || seq.BytesRecv != par.BytesRecv {
+				t.Errorf("%s: bytes %d/%d (seq) vs %d/%d (par)", label,
+					seq.BytesSent, seq.BytesRecv, par.BytesSent, par.BytesRecv)
+			}
+			if par.TotalCompute <= 0 {
+				t.Errorf("%s: parallel TotalCompute = %v, want > 0 (per-fragment costs must be reported)", label, par.TotalCompute)
+			}
+		}
+	}
+}

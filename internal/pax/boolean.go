@@ -1,6 +1,7 @@
 package pax
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,11 +21,22 @@ import (
 //
 // Like Run, RunBoolean is safe for concurrent use and attributes costs to
 // its own Result alone.
-func (e *Engine) RunBoolean(query string, opts Options) (truth bool, res *Result, err error) {
+func (e *Engine) RunBoolean(query string, opts Options) (bool, *Result, error) {
+	return e.RunBooleanContext(context.Background(), query, opts)
+}
+
+// RunBooleanContext is RunBoolean bounded by a context, with the same
+// admission-control and deadline semantics as RunContext.
+func (e *Engine) RunBooleanContext(ctx context.Context, query string, opts Options) (truth bool, res *Result, err error) {
 	p, perr := e.plan(query, false)
 	if perr != nil {
 		return false, nil, perr
 	}
+	release, aerr := e.admit(ctx)
+	if aerr != nil {
+		return false, nil, aerr
+	}
+	defer release()
 	c := p.c
 	if len(c.Sel) != 2 || c.Sel[1].Kind != xpath.SelStep || !c.Sel[1].Test.Wild {
 		return false, nil, fmt.Errorf("pax: %q is not a Boolean query; use a bare qualifier like %q", query, "[//a/b = 'x']")
@@ -43,7 +55,7 @@ func (e *Engine) RunBoolean(query string, opts Options) (truth bool, res *Result
 		ft := e.topo.FT
 		vs := parbox.NewVarScheme(c, ft.Len())
 		qid := QueryID(e.qid.Add(1))
-		resps, err := e.stage(res, usage, opts.Sequential, func(dist.SiteID) any {
+		resps, err := e.stage(ctx, res, usage, opts.Sequential, func(dist.SiteID) any {
 			return &QualStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len())}
 		})
 		if err != nil {

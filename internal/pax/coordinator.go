@@ -1,6 +1,7 @@
 package pax
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -82,16 +83,82 @@ type Result struct {
 // so the guarantees the Result asserts — visit counts, byte totals,
 // computation times — hold per query even under concurrent load. Compiled
 // plans are cached per (query, annotations) and shared between runs.
+//
+// An Engine optionally enforces admission control (WithMaxInFlight): when
+// the in-flight limit is reached, new evaluations are shed immediately
+// with ErrOverloaded, or — with WithQueueTimeout — queue for a bounded
+// time before being shed. Either way the outcome under overload is
+// deterministic and explicit; no site ever discards another query's state
+// to make room.
 type Engine struct {
 	topo  *Topology
 	tr    dist.Transport
 	qid   atomic.Uint64
 	plans *lru[planKey, *plan]
+
+	inflight     chan struct{} // admission slots; nil = unlimited
+	queueTimeout time.Duration
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// WithMaxInFlight bounds the number of concurrently admitted evaluations.
+// Beyond the bound, Run sheds with ErrOverloaded (or queues, see
+// WithQueueTimeout). n <= 0 means unlimited.
+func WithMaxInFlight(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.inflight = make(chan struct{}, n)
+		} else {
+			e.inflight = nil
+		}
+	}
+}
+
+// WithQueueTimeout switches admission from immediate shedding to
+// queue-with-deadline: an evaluation arriving at a full engine waits up to
+// d for a slot, then fails with ErrOverloaded. The run's own context
+// deadline still applies while queued. Meaningful only together with
+// WithMaxInFlight.
+func WithQueueTimeout(d time.Duration) EngineOption {
+	return func(e *Engine) { e.queueTimeout = d }
 }
 
 // NewEngine creates a coordinator over a topology and a transport.
-func NewEngine(topo *Topology, tr dist.Transport) *Engine {
-	return &Engine{topo: topo, tr: tr, plans: newLRU[planKey, *plan](defaultPlanCache)}
+func NewEngine(topo *Topology, tr dist.Transport, opts ...EngineOption) *Engine {
+	e := &Engine{topo: topo, tr: tr, plans: newLRU[planKey, *plan](defaultPlanCache)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// admit claims an in-flight slot, shedding or queueing per configuration.
+// It returns the release function, or an error that already identifies
+// why admission failed (ErrOverloaded or the context's error).
+func (e *Engine) admit(ctx context.Context) (func(), error) {
+	if e.inflight == nil {
+		return func() {}, nil
+	}
+	select {
+	case e.inflight <- struct{}{}:
+		return func() { <-e.inflight }, nil
+	default:
+	}
+	if e.queueTimeout <= 0 {
+		return nil, fmt.Errorf("%w: %d evaluations in flight, shedding", ErrOverloaded, cap(e.inflight))
+	}
+	timer := time.NewTimer(e.queueTimeout)
+	defer timer.Stop()
+	select {
+	case e.inflight <- struct{}{}:
+		return func() { <-e.inflight }, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: no slot within the %v queue deadline", ErrOverloaded, e.queueTimeout)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // plan returns the cached compiled plan for (query, annotations),
@@ -119,11 +186,25 @@ func (e *Engine) plan(query string, annotations bool) (*plan, error) {
 // concurrently; each Result's cost profile is attributed to its own query
 // alone. Malformed or inconsistent site responses surface as errors, never
 // as coordinator panics.
-func (e *Engine) Run(query string, opts Options) (res *Result, err error) {
+func (e *Engine) Run(query string, opts Options) (*Result, error) {
+	return e.RunContext(context.Background(), query, opts)
+}
+
+// RunContext is Run bounded by a context: the deadline (or cancellation)
+// covers admission queueing and every site round trip, and is propagated
+// through the transport so a slow or hung site fails the query instead of
+// wedging the caller. Under admission control, a full engine sheds or
+// queues per configuration; both outcomes surface as ErrOverloaded.
+func (e *Engine) RunContext(ctx context.Context, query string, opts Options) (res *Result, err error) {
 	p, perr := e.plan(query, opts.Annotations)
 	if perr != nil {
 		return nil, perr
 	}
+	release, aerr := e.admit(ctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
 	// Unification and resolution panic on invariant violations that only
 	// corrupt remote data can produce (cyclic bindings, conflicting
 	// rebindings). A serving coordinator must degrade them to a failed
@@ -137,11 +218,11 @@ func (e *Engine) Run(query string, opts Options) (res *Result, err error) {
 	start := time.Now()
 	switch opts.Algorithm {
 	case PaX3:
-		res, err = e.runPaX3(query, p, opts, usage)
+		res, err = e.runPaX3(ctx, query, p, opts, usage)
 	case PaX2:
-		res, err = e.runPaX2(query, p, opts, usage)
+		res, err = e.runPaX2(ctx, query, p, opts, usage)
 	case Naive:
-		res, err = e.runNaive(p.c, opts, usage)
+		res, err = e.runNaive(ctx, p.c, opts, usage)
 	default:
 		return nil, fmt.Errorf("pax: unknown algorithm %v", opts.Algorithm)
 	}
@@ -190,7 +271,7 @@ func (e *Engine) relevantFragsBySite(rel *Relevance) map[dist.SiteID][]fragment.
 // completed call to the run's private usage ledger and recording the
 // stage's wall time, wire bytes and parallel computation cost (the
 // maximum per-site computation, §3.4) in res.
-func (e *Engine) stage(res *Result, usage *dist.Metrics, seq bool, mk func(dist.SiteID) any) (map[dist.SiteID]any, error) {
+func (e *Engine) stage(ctx context.Context, res *Result, usage *dist.Metrics, seq bool, mk func(dist.SiteID) any) (map[dist.SiteID]any, error) {
 	sites := e.topo.Sites()
 	t0 := time.Now()
 	var resps map[dist.SiteID]any
@@ -204,7 +285,7 @@ func (e *Engine) stage(res *Result, usage *dist.Metrics, seq bool, mk func(dist.
 			if req == nil {
 				continue
 			}
-			r, cost, cerr := e.tr.Call(id, req)
+			r, cost, cerr := e.tr.Call(ctx, id, req)
 			if cost != (dist.CallCost{}) {
 				costs[id] = cost
 			}
@@ -215,7 +296,7 @@ func (e *Engine) stage(res *Result, usage *dist.Metrics, seq bool, mk func(dist.
 			resps[id] = r
 		}
 	} else {
-		resps, costs, err = dist.Broadcast(e.tr, sites, mk)
+		resps, costs, err = dist.Broadcast(ctx, e.tr, sites, mk)
 	}
 	// Even a failed stage's completed calls are this query's cost.
 	var maxCompute time.Duration
@@ -329,7 +410,7 @@ func respAs[T any](site dist.SiteID, r any, stage string) (T, error) {
 }
 
 // runPaX3 is Procedure PaX3 of Fig. 4(a).
-func (e *Engine) runPaX3(query string, p *plan, opts Options, usage *dist.Metrics) (*Result, error) {
+func (e *Engine) runPaX3(ctx context.Context, query string, p *plan, opts Options, usage *dist.Metrics) (*Result, error) {
 	res := &Result{}
 	c := p.c
 	ft := e.topo.FT
@@ -347,7 +428,7 @@ func (e *Engine) runPaX3(query string, p *plan, opts Options, usage *dist.Metric
 	// live anywhere), skipped entirely for qualifier-free queries.
 	var env *boolexpr.Env
 	if hasQual {
-		resps, err := e.stage(res, usage, opts.Sequential, func(dist.SiteID) any {
+		resps, err := e.stage(ctx, res, usage, opts.Sequential, func(dist.SiteID) any {
 			return &QualStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len())}
 		})
 		if err != nil {
@@ -403,7 +484,7 @@ func (e *Engine) runPaX3(query string, p *plan, opts Options, usage *dist.Metric
 		}
 		selReqs[site] = req
 	}
-	resps, err := e.stage(res, usage, opts.Sequential, func(site dist.SiteID) any { return selReqs[site] })
+	resps, err := e.stage(ctx, res, usage, opts.Sequential, func(site dist.SiteID) any { return selReqs[site] })
 	if err != nil {
 		return nil, err
 	}
@@ -454,7 +535,7 @@ func (e *Engine) runPaX3(query string, p *plan, opts Options, usage *dist.Metric
 			ansReqs[site] = req
 		}
 	}
-	resps, err = e.stage(res, usage, opts.Sequential, func(site dist.SiteID) any { return ansReqs[site] })
+	resps, err = e.stage(ctx, res, usage, opts.Sequential, func(site dist.SiteID) any { return ansReqs[site] })
 	if err != nil {
 		return nil, err
 	}
@@ -469,7 +550,7 @@ func (e *Engine) runPaX3(query string, p *plan, opts Options, usage *dist.Metric
 }
 
 // runPaX2 is Procedure PaX2 of Fig. 5.
-func (e *Engine) runPaX2(query string, p *plan, opts Options, usage *dist.Metrics) (*Result, error) {
+func (e *Engine) runPaX2(ctx context.Context, query string, p *plan, opts Options, usage *dist.Metrics) (*Result, error) {
 	res := &Result{}
 	c := p.c
 	ft := e.topo.FT
@@ -493,7 +574,7 @@ func (e *Engine) runPaX2(query string, p *plan, opts Options, usage *dist.Metric
 			}
 		}
 	}
-	resps, err := e.stage(res, usage, opts.Sequential, func(site dist.SiteID) any {
+	resps, err := e.stage(ctx, res, usage, opts.Sequential, func(site dist.SiteID) any {
 		frags := relBySite[site]
 		if len(frags) == 0 {
 			return nil
@@ -586,7 +667,7 @@ func (e *Engine) runPaX2(query string, p *plan, opts Options, usage *dist.Metric
 		}
 		ansReqs[site] = req
 	}
-	resps, err = e.stage(res, usage, opts.Sequential, func(site dist.SiteID) any { return ansReqs[site] })
+	resps, err = e.stage(ctx, res, usage, opts.Sequential, func(site dist.SiteID) any { return ansReqs[site] })
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,19 @@
+package pax
+
+import "errors"
+
+// ErrOverloaded is returned by an Engine whose admission limit is reached:
+// the evaluation was shed (no queueing configured) or timed out waiting
+// for an in-flight slot. The query was never started — no site holds any
+// state for it — so the caller may safely retry later.
+var ErrOverloaded = errors.New("pax: engine overloaded")
+
+// ErrSessionLimit is returned by a Site that cannot admit a new query
+// session because it already retains the per-query state of maxSessions
+// in-flight (or abandoned but not yet expired) queries. Unlike the old
+// behavior — silently evicting the oldest session, making some *other*
+// in-flight query fail a later stage with a confusing "no session" error —
+// the rejection is explicit, immediate and attributed to the query that
+// could not be admitted. Engine-level admission control (ErrOverloaded)
+// exists to keep serving deployments away from this limit.
+var ErrSessionLimit = errors.New("pax: site session limit reached")

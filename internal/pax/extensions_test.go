@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"paxq/internal/dist"
 	"paxq/internal/fragment"
@@ -172,9 +173,13 @@ func TestSequentialModeMatchesParallel(t *testing.T) {
 	}
 }
 
-// TestSessionEviction floods a site with abandoned stage-1 sessions and
-// verifies the eviction cap holds and later queries still work.
-func TestSessionEviction(t *testing.T) {
+// TestSessionLimitRejectsExplicitly floods a site with abandoned stage-1
+// sessions and verifies the regression fix for the old silent-eviction
+// behavior: a site at its session cap rejects the NEW query with
+// ErrSessionLimit instead of discarding the oldest query's state (which
+// made an unrelated in-flight query fail a later stage). Once the dangling
+// sessions pass their TTL, the sweep reclaims them and admission resumes.
+func TestSessionLimitRejectsExplicitly(t *testing.T) {
 	tr := testutil.PaperTree()
 	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 2, 7))
 	if err != nil {
@@ -184,17 +189,33 @@ func TestSessionEviction(t *testing.T) {
 	copy(frags, ft.Frags)
 	site := NewSite(1, frags)
 	h := site.Handler()
-	for i := 0; i < maxSessions+10; i++ {
+	query := `[//code = "GOOG"]`
+	for i := 0; i < maxSessions; i++ {
 		// Qualifier stage only: sessions are left dangling on purpose.
-		if _, err := h(&QualStageReq{QID: QueryID(i + 1), Query: `[//code = "GOOG"]`, NumFrags: int32(ft.Len())}); err != nil {
+		if _, err := h(&QualStageReq{QID: QueryID(i + 1), Query: query, NumFrags: int32(ft.Len())}); err != nil {
 			t.Fatal(err)
 		}
 	}
+	// The site is full: the next NEW query is rejected, typed.
+	_, err = h(&QualStageReq{QID: QueryID(maxSessions + 1), Query: query, NumFrags: int32(ft.Len())})
+	if !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("query beyond the session cap: err = %v, want ErrSessionLimit", err)
+	}
+	// No state was discarded to make room: every admitted query can still
+	// proceed (session 1 — the one the old code would have evicted first —
+	// included).
 	site.mu.Lock()
 	n := len(site.sessions)
+	_, first := site.sessions[1]
 	site.mu.Unlock()
-	if n > maxSessions {
-		t.Errorf("sessions = %d exceeds cap %d", n, maxSessions)
+	if n != maxSessions || !first {
+		t.Fatalf("sessions = %d (first retained = %v), want all %d admitted sessions intact", n, first, maxSessions)
+	}
+	// After the TTL the dangling sessions are swept and admission resumes.
+	defer func(old time.Duration) { sessionTTL = old }(sessionTTL)
+	sessionTTL = 0
+	if _, err := h(&QualStageReq{QID: QueryID(maxSessions + 2), Query: query, NumFrags: int32(ft.Len())}); err != nil {
+		t.Fatalf("query after TTL sweep: %v", err)
 	}
 }
 

@@ -20,6 +20,8 @@
 package pax
 
 import (
+	"time"
+
 	"paxq/internal/dist"
 	"paxq/internal/fragment"
 	"paxq/internal/xmltree"
@@ -92,8 +94,25 @@ type QualStageReq struct {
 	NumFrags int32
 }
 
+// StageCompute carries a stage response's self-measured computation
+// (summed over fragments evaluated in parallel). The transport consumes
+// and zeroes it via TakeComputeCost before the response reaches the wire,
+// so it never affects payload bytes. Embedded by every response type
+// whose handler evaluates fragments.
+type StageCompute struct {
+	ComputeNanos int64
+}
+
+// TakeComputeCost implements dist.ComputeReporter.
+func (c *StageCompute) TakeComputeCost() time.Duration {
+	d := time.Duration(c.ComputeNanos)
+	c.ComputeNanos = 0
+	return d
+}
+
 // QualStageResp returns one root-vector pair per hosted fragment.
 type QualStageResp struct {
+	StageCompute
 	Roots []WireRootVecs
 }
 
@@ -116,6 +135,7 @@ type SelStageReq struct {
 // to be definite, and the fragments that retained candidate answers and
 // therefore need Stage 3.
 type SelStageResp struct {
+	StageCompute
 	Contexts   []WireContext
 	Answers    []AnswerNode
 	Candidates []fragment.FragID
@@ -135,6 +155,7 @@ type CombinedStageReq struct {
 // CombinedStageResp returns the qualifier root vectors and selection
 // contexts together, plus definite answers and candidate-bearing fragments.
 type CombinedStageResp struct {
+	StageCompute
 	Roots      []WireRootVecs
 	Contexts   []WireContext
 	Answers    []AnswerNode

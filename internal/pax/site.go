@@ -2,8 +2,10 @@ package pax
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"paxq/internal/boolexpr"
 	"paxq/internal/dist"
@@ -20,13 +22,18 @@ import (
 //
 // A Site serves any number of concurrent queries: per-query state lives in
 // sessions keyed by QueryID, and compiled queries are cached and shared
-// across sessions. A malformed or out-of-order stage request fails that
-// request with an error through the transport; it never takes the site
-// down.
+// across sessions. Within one stage request, independent fragments are
+// evaluated concurrently by a per-session worker pool (see
+// SetParallelism); the per-fragment computation times are summed and
+// reported through the response, so a query's cost ledger is identical
+// whether the site evaluated sequentially or in parallel. A malformed or
+// out-of-order stage request fails that request with an error through the
+// transport; it never takes the site down.
 type Site struct {
 	id       dist.SiteID
 	frags    map[fragment.FragID]*fragment.Fragment
 	compiled *lru[string, *xpath.Compiled]
+	par      int
 
 	mu       sync.Mutex
 	sessions map[QueryID]*session
@@ -36,6 +43,14 @@ type Site struct {
 type session struct {
 	c  *xpath.Compiled
 	vs parbox.VarScheme
+	// workers is the session's private worker pool: fragment evaluation
+	// within this query's stage requests is bounded by its capacity. Each
+	// session owns its pool so one query's fragment fan-out cannot starve
+	// the fragment workers of a concurrently served query.
+	workers chan struct{}
+	// lastUsed (guarded by Site.mu) drives expiry of sessions abandoned by
+	// their coordinator.
+	lastUsed time.Time
 	// qual holds Stage-1 state per fragment until the selection stage
 	// consumes it.
 	qual map[fragment.FragID]*parbox.FragQual
@@ -45,27 +60,46 @@ type session struct {
 	shipXML bool
 }
 
-// maxSessions bounds retained per-query state; evaluations that never reach
-// their final stage (aborted coordinators) are evicted oldest-first. It
-// also caps how many queries can usefully be in flight against one site —
-// beyond it, the oldest unfinished query loses its state and fails its
-// next stage with a "no session" error (the coordinator surfaces that as
-// the query's error; admission control above the engine is the ROADMAP
-// answer for sustained overload).
+// maxSessions bounds retained per-query state. A new query arriving at a
+// site that is already tracking maxSessions sessions is rejected with
+// ErrSessionLimit after expired sessions are swept — never admitted by
+// silently discarding another query's state.
 const maxSessions = 256
 
-// NewSite creates a site hosting the given fragments.
+// sessionTTL is how long a session may sit untouched before it is
+// presumed abandoned (its coordinator died or gave up mid-query) and
+// becomes eligible for sweeping when the site is at its session cap.
+// Live queries touch their session on every stage, and stages are
+// coordinator round trips, so any realistic query finishes orders of
+// magnitude faster; a coordinator that stalls longer than this between
+// stages at a full site loses its session. A variable only so tests can
+// exercise the sweep without waiting minutes.
+var sessionTTL = 2 * time.Minute
+
+// NewSite creates a site hosting the given fragments. Fragment evaluation
+// within a stage request defaults to GOMAXPROCS-way parallelism.
 func NewSite(id dist.SiteID, frags []*fragment.Fragment) *Site {
 	s := &Site{
 		id:       id,
 		frags:    make(map[fragment.FragID]*fragment.Fragment, len(frags)),
 		compiled: newLRU[string, *xpath.Compiled](defaultSiteCompileCache),
+		par:      runtime.GOMAXPROCS(0),
 		sessions: make(map[QueryID]*session),
 	}
 	for _, f := range frags {
 		s.frags[f.ID] = f
 	}
 	return s
+}
+
+// SetParallelism bounds the per-session fragment worker pool: n fragments
+// of one stage request evaluate concurrently (1 = sequential). Call before
+// the site starts serving; existing sessions keep their pool size.
+func (s *Site) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.par = n
 }
 
 // ID returns the site's identifier.
@@ -103,34 +137,105 @@ func (s *Site) Handler() dist.Handler {
 func (s *Site) getSession(qid QueryID, query string, numFrags int32) (*session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := time.Now()
 	if sess, ok := s.sessions[qid]; ok {
+		sess.lastUsed = now
 		return sess, nil
 	}
 	if query == "" {
 		return nil, fmt.Errorf("pax: site %d: no session for query %d", s.id, qid)
+	}
+	if len(s.sessions) >= maxSessions {
+		// Reclaim sessions presumed abandoned: untouched for longer than
+		// the TTL. A site cannot distinguish a dead coordinator from one
+		// stalled for minutes between stages, so a query that idles past
+		// the TTL at a full site can still lose its state — but only
+		// time-based reclamation under pressure, never the arrival of new
+		// load by itself, discards another query's session.
+		for id, sess := range s.sessions {
+			if now.Sub(sess.lastUsed) > sessionTTL {
+				delete(s.sessions, id)
+			}
+		}
+	}
+	if len(s.sessions) >= maxSessions {
+		return nil, fmt.Errorf("pax: site %d: %w (%d queries in flight)", s.id, ErrSessionLimit, len(s.sessions))
 	}
 	c, err := s.compile(query)
 	if err != nil {
 		return nil, fmt.Errorf("pax: site %d: %w", s.id, err)
 	}
 	sess := &session{
-		c:     c,
-		vs:    parbox.NewVarScheme(c, int(numFrags)),
-		qual:  make(map[fragment.FragID]*parbox.FragQual),
-		cands: make(map[fragment.FragID][]candidate),
-	}
-	if len(s.sessions) >= maxSessions {
-		var oldest QueryID
-		first := true
-		for id := range s.sessions {
-			if first || id < oldest {
-				oldest, first = id, false
-			}
-		}
-		delete(s.sessions, oldest)
+		c:        c,
+		vs:       parbox.NewVarScheme(c, int(numFrags)),
+		workers:  make(chan struct{}, s.par),
+		lastUsed: now,
+		qual:     make(map[fragment.FragID]*parbox.FragQual),
+		cands:    make(map[fragment.FragID][]candidate),
 	}
 	s.sessions[qid] = sess
 	return sess, nil
+}
+
+// stageCompute folds a fragment fan-out's cost back into handler terms:
+// the serial portion's wall time plus the summed per-fragment
+// computation. The same formula applies to failed stages — the fragments
+// already evaluated did their work, and the transport charges whatever a
+// returned response reports even alongside an error — so the ledger a
+// query accumulates never depends on the site's scheduling mode.
+func stageCompute(start time.Time, compute, parWall time.Duration) StageCompute {
+	return StageCompute{ComputeNanos: int64(time.Since(start) - parWall + compute)}
+}
+
+// evalFrags runs fn over frags — concurrently, bounded by the session's
+// worker pool — and returns the per-fragment results in frags order, the
+// summed per-fragment computation time, and the wall time of the whole
+// fan-out. A panic inside fn degrades to that fragment's error, exactly as
+// a handler panic degrades to a failed call at the transport; when several
+// fragments fail, the error reported is the one earliest in frags,
+// independent of goroutine scheduling. The compute sum is returned even on
+// error: the work was done and must be chargeable to the query.
+func evalFrags[T any](sess *session, frags []fragment.FragID, fn func(fragment.FragID) (T, error)) (out []T, compute, wall time.Duration, err error) {
+	out = make([]T, len(frags))
+	durs := make([]time.Duration, len(frags))
+	errs := make([]error, len(frags))
+	run := func(i int, fid fragment.FragID) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("pax: fragment %d: panic: %v", fid, r)
+			}
+		}()
+		start := time.Now()
+		out[i], errs[i] = fn(fid)
+		durs[i] = time.Since(start)
+	}
+	start := time.Now()
+	if len(frags) <= 1 || cap(sess.workers) <= 1 {
+		for i, fid := range frags {
+			run(i, fid)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, fid := range frags {
+			sess.workers <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer func() { <-sess.workers; wg.Done() }()
+				run(i, fid)
+			}()
+		}
+		wg.Wait()
+	}
+	wall = time.Since(start)
+	for _, d := range durs {
+		compute += d
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, compute, wall, e
+		}
+	}
+	return out, compute, wall, nil
 }
 
 // compile returns the site's cached compilation of query. The Compiled is
@@ -155,17 +260,22 @@ func (s *Site) dropSessionIfDone(qid QueryID, sess *session) {
 	}
 }
 
-// handleQual runs PaX3 Stage 1 over every hosted fragment.
+// handleQual runs PaX3 Stage 1 over every hosted fragment, fragments in
+// parallel.
 func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
+	start := time.Now()
 	sess, err := s.getSession(req.QID, req.Query, req.NumFrags)
 	if err != nil {
 		return nil, err
 	}
-	resp := &QualStageResp{}
-	for _, fid := range s.FragIDs() {
+	type qualOut struct {
+		rv WireRootVecs
+		fq *parbox.FragQual
+	}
+	frags := s.FragIDs()
+	outs, compute, parWall, err := evalFrags(sess, frags, func(fid fragment.FragID) (qualOut, error) {
 		f := s.frags[fid]
 		fq := parbox.EvalQualFragment(f, sess.c, sess.vs)
-		sess.qual[fid] = fq
 		rv := WireRootVecs{
 			Frag: fid,
 			QV:   boolexpr.EncodeVec(fq.Root.QV),
@@ -185,8 +295,18 @@ func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
 			}
 			rv.RootSelQual = enc
 		}
-		resp.Roots = append(resp.Roots, rv)
+		return qualOut{rv: rv, fq: fq}, nil
+	})
+	if err != nil {
+		return &QualStageResp{StageCompute: stageCompute(start, compute, parWall)},
+			fmt.Errorf("pax: site %d: %w", s.id, err)
 	}
+	resp := &QualStageResp{}
+	for i, fid := range frags {
+		sess.qual[fid] = outs[i].fq
+		resp.Roots = append(resp.Roots, outs[i].rv)
+	}
+	resp.StageCompute = stageCompute(start, compute, parWall)
 	return resp, nil
 }
 
@@ -227,8 +347,11 @@ func initFor(sess *session, fid fragment.FragID, inits []WireInit) ([]*boolexpr.
 	return zInit(sess.vs, fid, sess.c), nil
 }
 
-// handleSel runs PaX3 Stage 2 over the requested fragments.
+// handleSel runs PaX3 Stage 2 over the requested fragments, fragments in
+// parallel. The unification environment is built once and only read by the
+// workers (Env.Resolve is safe for concurrent reads).
 func (s *Site) handleSel(req *SelStageReq) (*SelStageResp, error) {
+	start := time.Now()
 	sess, err := s.getSession(req.QID, req.Query, req.NumFrags)
 	if err != nil {
 		return nil, err
@@ -238,8 +361,7 @@ func (s *Site) handleSel(req *SelStageReq) (*SelStageResp, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := &SelStageResp{}
-	for _, fid := range req.Frags {
+	outs, compute, parWall, err := evalFrags(sess, req.Frags, func(fid fragment.FragID) (*selOutcome, error) {
 		f, ok := s.frags[fid]
 		if !ok {
 			return nil, fmt.Errorf("pax: site %d does not host fragment %d", s.id, fid)
@@ -259,7 +381,14 @@ func (s *Site) handleSel(req *SelStageReq) (*SelStageResp, error) {
 		qualAt := func(n *xmltree.Node, entry int) *boolexpr.Formula {
 			return env.Resolve(fq.SelQual[n.ID][entry])
 		}
-		outc := evalSelection(f, sess.c, init, req.ShipXML, qualAt)
+		return evalSelection(f, sess.c, init, req.ShipXML, qualAt), nil
+	})
+	if err != nil {
+		return &SelStageResp{StageCompute: stageCompute(start, compute, parWall)}, err
+	}
+	resp := &SelStageResp{}
+	for i, fid := range req.Frags {
+		outc := outs[i]
 		for _, ctx := range outc.contexts {
 			resp.Contexts = append(resp.Contexts, WireContext{Frag: ctx.frag, SV: boolexpr.EncodeVec(ctx.sv)})
 		}
@@ -271,18 +400,23 @@ func (s *Site) handleSel(req *SelStageReq) (*SelStageResp, error) {
 		delete(sess.qual, fid) // Stage-1 state is no longer needed
 	}
 	s.dropSessionIfDone(req.QID, sess)
+	resp.StageCompute = stageCompute(start, compute, parWall)
 	return resp, nil
 }
 
-// handleCombined runs PaX2 Stage 1 over the requested fragments.
+// handleCombined runs PaX2 Stage 1 over the requested fragments, fragments
+// in parallel. Each fragment's combined traversal allocates its local
+// qualifier placeholders from a private allocator and eliminates them
+// before returning, so concurrent traversals never observe each other's
+// variables.
 func (s *Site) handleCombined(req *CombinedStageReq) (*CombinedStageResp, error) {
+	start := time.Now()
 	sess, err := s.getSession(req.QID, req.Query, req.NumFrags)
 	if err != nil {
 		return nil, err
 	}
 	sess.shipXML = req.ShipXML
-	resp := &CombinedStageResp{}
-	for _, fid := range req.Frags {
+	outs, compute, parWall, err := evalFrags(sess, req.Frags, func(fid fragment.FragID) (*combinedOutcome, error) {
 		f, ok := s.frags[fid]
 		if !ok {
 			return nil, fmt.Errorf("pax: site %d does not host fragment %d", s.id, fid)
@@ -291,7 +425,14 @@ func (s *Site) handleCombined(req *CombinedStageReq) (*CombinedStageResp, error)
 		if err != nil {
 			return nil, err
 		}
-		outc := evalCombined(f, sess.c, sess.vs, init, req.ShipXML)
+		return evalCombined(f, sess.c, sess.vs, init, req.ShipXML), nil
+	})
+	if err != nil {
+		return &CombinedStageResp{StageCompute: stageCompute(start, compute, parWall)}, err
+	}
+	resp := &CombinedStageResp{}
+	for i, fid := range req.Frags {
+		outc := outs[i]
 		resp.Roots = append(resp.Roots, WireRootVecs{
 			Frag: fid,
 			QV:   boolexpr.EncodeVec(outc.roots.QV),
@@ -307,6 +448,7 @@ func (s *Site) handleCombined(req *CombinedStageReq) (*CombinedStageResp, error)
 		}
 	}
 	s.dropSessionIfDone(req.QID, sess)
+	resp.StageCompute = stageCompute(start, compute, parWall)
 	return resp, nil
 }
 

@@ -62,9 +62,18 @@ func (t *Topology) Sites() []dist.SiteID { return t.sites }
 // FragsAt returns the fragments hosted at a site, ascending.
 func (t *Topology) FragsAt(site dist.SiteID) []fragment.FragID { return t.fragsAt[site] }
 
+// SiteOption configures each Site a cluster builder constructs.
+type SiteOption func(*Site)
+
+// SiteParallelism bounds fragment-evaluation concurrency within each
+// site's stage requests (see Site.SetParallelism).
+func SiteParallelism(n int) SiteOption {
+	return func(s *Site) { s.SetParallelism(n) }
+}
+
 // BuildLocalCluster constructs the in-process cluster for a topology: one
 // Site per SiteID, registered on a fresh Local transport.
-func BuildLocalCluster(t *Topology) (*dist.Local, []*Site) {
+func BuildLocalCluster(t *Topology, opts ...SiteOption) (*dist.Local, []*Site) {
 	local := dist.NewLocal()
 	var sites []*Site
 	for _, sid := range t.sites {
@@ -73,6 +82,9 @@ func BuildLocalCluster(t *Topology) (*dist.Local, []*Site) {
 			frags = append(frags, t.FT.Frag(fid))
 		}
 		site := NewSite(sid, frags)
+		for _, o := range opts {
+			o(site)
+		}
 		local.AddSite(sid, site.Handler())
 		sites = append(sites, site)
 	}
@@ -81,7 +93,7 @@ func BuildLocalCluster(t *Topology) (*dist.Local, []*Site) {
 
 // BuildTCPCluster starts one TCP server per site on the loopback interface
 // and returns the connected transport plus a shutdown function.
-func BuildTCPCluster(t *Topology) (*dist.TCP, func(), error) {
+func BuildTCPCluster(t *Topology, opts ...SiteOption) (*dist.TCP, func(), error) {
 	addrs := make(map[dist.SiteID]string, len(t.sites))
 	var servers []*dist.TCPServer
 	shutdown := func() {
@@ -95,6 +107,9 @@ func BuildTCPCluster(t *Topology) (*dist.TCP, func(), error) {
 			frags = append(frags, t.FT.Frag(fid))
 		}
 		site := NewSite(sid, frags)
+		for _, o := range opts {
+			o(site)
+		}
 		srv, err := dist.NewTCPServer("127.0.0.1:0", site.Handler())
 		if err != nil {
 			shutdown()

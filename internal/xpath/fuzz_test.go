@@ -1,0 +1,64 @@
+package xpath
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary input. Invariants:
+// neither may panic; whatever parses must compile or be rejected cleanly;
+// and rendering the §2.2 normal form of any accepted query must succeed.
+// (The normal form uses the paper's display notation — ε[q], ∧, ¬ — which
+// is deliberately not part of the input grammar, so no reparse is
+// asserted.)
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"/sites/site/people/person",
+		"/sites/site/open_auctions//annotation",
+		`/sites/site/people/person[profile/age > 20 and address/country = "US"]/creditcard`,
+		`//broker[//stock/code/text() = "goog"]/name`,
+		`client[country = "US"]/broker[market/name = "nasdaq"]/name`,
+		`[//stock/code = "goog"]`,
+		"//*[not(b) and c/val() >= 10]",
+		"a/b//c[d or e][f]",
+		".[a]",
+		"//a[text() = \"x\"]",
+		"a[val() != 7]",
+		"((((", "a[", "//", "]", "a'b", `"unterminated`, "a[b = 'x]",
+		"a[! b]", "a[not(not(b))]", "*//*", "a/./b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		// Accepted input must compile cleanly or fail cleanly, and its
+		// normal form must render. ("." legitimately renders empty: a bare
+		// self step has no β items.)
+		_, _ = CompileQuery(q, src)
+		_ = NormalForm(q)
+	})
+}
+
+// FuzzCompile feeds raw input straight to the compiler, covering the
+// lexer, parser and compilation in one target.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		"/a/b/c",
+		"//a[b]",
+		`[//a/b = "x"]`,
+		"a[b/val() < 10 or not(c)]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if len(c.Sel) == 0 {
+			t.Fatalf("compiled %q has an empty selection automaton", src)
+		}
+	})
+}

@@ -22,7 +22,7 @@
 //	defer cluster.Close()
 //	answers, _ := cluster.Evaluate(`//broker[//stock/code = "GOOG"]/name`)
 //
-// # Concurrency
+// # Concurrency and serving
 //
 // A Cluster is a long-lived serving object: once built, any number of
 // goroutines may call Evaluate, Query and EvaluateBool concurrently —
@@ -30,24 +30,44 @@
 // private cost ledger fed by per-call transport costs, so the Stats of
 // one query are attributed to that query alone and the paper's per-query
 // guarantees (visit bound, traffic bound) can be asserted even under
-// concurrent load. Compiled query plans are cached and shared between
-// evaluations. Close must not be called while evaluations are in flight;
-// in-flight queries then fail with transport errors.
+// concurrent load. Within one site, the fragments of a stage request are
+// themselves evaluated in parallel (ClusterOptions.SiteParallelism), with
+// per-fragment computation summed into the ledger so the cost profile is
+// identical to sequential evaluation. Compiled query plans are cached and
+// shared between evaluations. Close must not be called while evaluations
+// are in flight; in-flight queries then fail with transport errors.
+//
+// # Overload and deadlines
+//
+// ClusterOptions.MaxInFlight enables admission control: beyond the bound,
+// evaluations fail fast with ErrOverloaded, or first queue for up to
+// ClusterOptions.QueueTimeout. QueryContext bounds a single evaluation
+// with a context whose deadline travels down to the site transport.
+// TransportStats exposes the transport's lifetime cost counters for
+// monitoring (paxserve serves them at /metrics).
 package paxq
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"time"
 
 	"paxq/internal/centeval"
+	"paxq/internal/dist"
 	"paxq/internal/fragment"
 	"paxq/internal/pax"
 	"paxq/internal/xmark"
 	"paxq/internal/xmltree"
 	"paxq/internal/xpath"
 )
+
+// ErrOverloaded is returned by Query/Evaluate when the cluster's admission
+// limit (ClusterOptions.MaxInFlight) is reached and the evaluation was
+// shed, or timed out queueing for a slot (ClusterOptions.QueueTimeout).
+// The query never started; retrying later is safe. Match with errors.Is.
+var ErrOverloaded = pax.ErrOverloaded
 
 // Document is a parsed XML document.
 type Document struct {
@@ -150,6 +170,21 @@ type ClusterOptions struct {
 	Transport TransportKind
 	// Seed drives random fragmentation.
 	Seed int64
+
+	// MaxInFlight bounds the number of concurrently admitted evaluations
+	// (admission control). Beyond it, Query fails fast with ErrOverloaded —
+	// or queues, see QueueTimeout. 0 means unlimited.
+	MaxInFlight int
+	// QueueTimeout switches admission from immediate shedding to
+	// queue-with-deadline: an evaluation arriving at a full cluster waits
+	// up to this long for a slot before failing with ErrOverloaded.
+	// Meaningful only with MaxInFlight > 0.
+	QueueTimeout time.Duration
+	// SiteParallelism bounds per-site fragment-evaluation concurrency
+	// within one stage request (1 = sequential). 0 means GOMAXPROCS.
+	// Applies to in-process (TransportLocal) and loopback-TCP sites built
+	// by NewCluster.
+	SiteParallelism int
 }
 
 // Cluster is a fragmented, distributed document plus a coordinator. It is
@@ -159,6 +194,7 @@ type Cluster struct {
 	ft       *fragment.Fragmentation
 	topo     *pax.Topology
 	engine   *pax.Engine
+	tr       dist.Transport
 	shutdown func()
 }
 
@@ -198,17 +234,27 @@ func NewCluster(doc *Document, opts ClusterOptions) (*Cluster, error) {
 	}
 	topo := pax.RoundRobin(ft, sites)
 	c := &Cluster{ft: ft, topo: topo}
+	var siteOpts []pax.SiteOption
+	if opts.SiteParallelism > 0 {
+		siteOpts = append(siteOpts, pax.SiteParallelism(opts.SiteParallelism))
+	}
+	engOpts := []pax.EngineOption{
+		pax.WithMaxInFlight(opts.MaxInFlight),
+		pax.WithQueueTimeout(opts.QueueTimeout),
+	}
 	switch opts.Transport {
 	case TransportLocal:
-		local, _ := pax.BuildLocalCluster(topo)
-		c.engine = pax.NewEngine(topo, local)
+		local, _ := pax.BuildLocalCluster(topo, siteOpts...)
+		c.engine = pax.NewEngine(topo, local, engOpts...)
+		c.tr = local
 		c.shutdown = func() {}
 	case TransportTCP:
-		tcp, stop, err := pax.BuildTCPCluster(topo)
+		tcp, stop, err := pax.BuildTCPCluster(topo, siteOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("paxq: %w", err)
 		}
-		c.engine = pax.NewEngine(topo, tcp)
+		c.engine = pax.NewEngine(topo, tcp, engOpts...)
+		c.tr = tcp
 		c.shutdown = stop
 	default:
 		return nil, fmt.Errorf("paxq: unknown transport %d", opts.Transport)
@@ -259,11 +305,21 @@ func (o QueryOptions) toPax() (pax.Options, error) {
 // answers plus the evaluation's cost profile. Safe for concurrent use;
 // the returned Stats cover this evaluation alone.
 func (c *Cluster) Query(query string, opts QueryOptions) ([]Answer, *Stats, error) {
+	return c.QueryContext(context.Background(), query, opts)
+}
+
+// QueryContext is Query bounded by a context: the deadline (or
+// cancellation) covers admission queueing and every site round trip, and
+// is propagated through the transport so a slow or unreachable site fails
+// the query instead of wedging the caller. Under admission control
+// (ClusterOptions.MaxInFlight), a full cluster sheds or queues; both
+// surface as ErrOverloaded.
+func (c *Cluster) QueryContext(ctx context.Context, query string, opts QueryOptions) ([]Answer, *Stats, error) {
 	po, err := opts.toPax()
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := c.engine.Run(query, po)
+	res, err := c.engine.RunContext(ctx, query, po)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -306,6 +362,37 @@ func (c *Cluster) Evaluate(query string) ([]Answer, error) {
 func (c *Cluster) EvaluateBool(query string) (bool, error) {
 	ok, _, err := c.engine.RunBoolean(query, pax.Options{})
 	return ok, err
+}
+
+// TransportStats are the cluster transport's cumulative lifetime counters:
+// the sum of the cost of every site call ever made, across all queries.
+// Per-query accounting lives in Stats; these totals feed monitoring (e.g.
+// paxserve's /metrics endpoint).
+type TransportStats struct {
+	BytesSent     int64
+	BytesReceived int64
+	TotalCompute  time.Duration
+	TotalVisits   int
+	SiteVisits    map[int]int
+}
+
+// TransportStats returns a snapshot of the transport's lifetime counters.
+// Safe for concurrent use with in-flight queries.
+func (c *Cluster) TransportStats() TransportStats {
+	snap := c.tr.Metrics().Snapshot()
+	out := TransportStats{
+		BytesSent:     snap.Sent,
+		BytesReceived: snap.Recv,
+		TotalVisits:   snap.TotalVisits(),
+		SiteVisits:    make(map[int]int, len(snap.Visits)),
+	}
+	for site, n := range snap.Visits {
+		out.SiteVisits[int(site)] = n
+	}
+	for _, d := range snap.Compute {
+		out.TotalCompute += d
+	}
+	return out
 }
 
 // EvaluateCentralized evaluates query over the unfragmented document with
