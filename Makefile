@@ -8,13 +8,14 @@ COVER_MIN ?= 85
 # Per-target budget of the fuzz smoke in the check gate.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test test-race cover fuzz-smoke bench
+.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke bench
 
 # The tier-1 verification gate: everything must compile, vet clean, pass,
 # stay race-free under the concurrent serving load tests, hold the
-# coverage floor on the core packages, and survive a short fuzz smoke of
-# the parser and the wire codec.
-check: build vet test test-race cover fuzz-smoke
+# coverage floor on the core packages, survive a short fuzz smoke of the
+# parser and the wire codec, and prove the binary codec agrees with gob
+# on the fixed message corpus.
+check: build vet test test-race cover codec-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -46,5 +47,18 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/dist
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeEnvelope -fuzztime=$(FUZZTIME) ./internal/dist
 
+# Codec agreement smoke: the hand-written binary codec and gob must
+# decode every fixed-corpus message to identical values, the binary codec
+# must hold its >=2x bytes and allocations advantage, and the frame write
+# path must stay within its allocation cap.
+codec-smoke:
+	$(GO) test -run='TestBinaryRoundTripMatchesGob|TestBinarySmallerThanGob' ./internal/pax
+	$(GO) test -run='TestCodecRoundTripAdvantage|TestCodecsShipIdenticalSemantics|TestFrameWritePathAllocs' ./internal/dist
+
+# Codec / encode / simplify microbenchmarks with allocation profiles —
+# the numbers behind BENCH_codec.json — then a one-iteration smoke of
+# every other benchmark in the tree.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) test -run=^$$ -bench='BenchmarkCodecRoundTrip|BenchmarkEncodeStageRequest' -benchmem ./internal/dist ./internal/pax
+	$(GO) test -run=^$$ -bench='BenchmarkFormulaSimplify|BenchmarkEncode$$' -benchmem ./internal/boolexpr
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...

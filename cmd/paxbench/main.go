@@ -15,11 +15,19 @@
 //
 //	paxbench -exp concurrent -workers 8 -load 25 -scale 0.05
 //
+// The codec mode benchmarks the wire layer itself — binary vs gob, with
+// and without formula simplification — and, with -json, writes the
+// machine-readable perf baseline the repo tracks over time:
+//
+//	paxbench -exp codec -json BENCH_codec.json
+//	paxbench -exp diff -load 10 -json BENCH_diff.json
+//
 // -scale is the dataset size relative to the paper's 100 MB baseline
 // (0.05 → 5 MB cumulative).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,19 +37,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, concurrent or all")
+	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, concurrent, codec or all")
 	scale := flag.Float64("scale", 0.02, "data scale relative to the paper's 100MB baseline")
 	runs := flag.Int("runs", 3, "runs per data point (median reported)")
 	steps := flag.Int("steps", 10, "experiment 2/3 iterations")
 	frags := flag.Int("frags", 10, "experiment 1 max fragments")
 	seed := flag.Int64("seed", 1, "generator seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	jsonPath := flag.String("json", "", "write the mode's machine-readable results (JSON) to this file")
 	workers := flag.Int("workers", 8, "concurrent mode: parallel query streams")
 	load := flag.Int("load", 25, "concurrent mode: queries per worker; diff mode: seeds")
 	sitePar := flag.Int("site-parallelism", 0, "concurrent mode: per-site fragment evaluation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	cfg := harness.Config{Scale: *scale, MaxFrags: *frags, Steps: *steps, Runs: *runs, Seed: *seed}
+	writeJSON := func(v any) {
+		if *jsonPath == "" {
+			return
+		}
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 	emit := func(f *harness.Figure) {
 		if *csv {
 			fmt.Printf("# Figure %s — %s\n%s\n", f.ID, f.Title, f.CSV())
@@ -107,14 +129,22 @@ func main() {
 	runDiff := func() {
 		// Differential mode: distributed vs centralized on random (tree,
 		// query, fragmentation) instances, over both transports, with
-		// parallel-vs-sequential site evaluation cross-checked.
+		// parallel-vs-sequential site evaluation and both codec twins
+		// (gob, simplification disabled) cross-checked.
+		type diffOut struct {
+			Transport string              `json:"transport"`
+			Result    *harness.DiffResult `json:"result"`
+		}
+		var out []diffOut
 		for _, tr := range []harness.DiffTransport{harness.DiffLocal, harness.DiffTCP} {
 			res, err := harness.DifferentialSweep(*seed, *load, harness.DiffOptions{
 				Transport:       tr,
 				CompareParallel: true,
+				CompareCodecs:   true,
 			})
 			if res != nil {
 				fmt.Printf("%s %s\n", tr, res)
+				out = append(out, diffOut{Transport: tr.String(), Result: res})
 			}
 			if err != nil {
 				fatal(err)
@@ -126,6 +156,15 @@ func main() {
 				fatal(fmt.Errorf("differential checks failed on the %s transport", tr))
 			}
 		}
+		writeJSON(out)
+	}
+	runCodec := func() {
+		rep, err := harness.CodecBench(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+		writeJSON(rep)
 	}
 	runQueries := func() {
 		fmt.Println("Fig. 7 — experiment queries:")
@@ -153,6 +192,8 @@ func main() {
 		runConcurrent()
 	case "diff":
 		runDiff()
+	case "codec":
+		runCodec()
 	case "t2":
 		runT2()
 	case "queries":

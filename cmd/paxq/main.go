@@ -48,6 +48,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fragmentation seed")
 	boolMode := flag.Bool("bool", false, "evaluate as a Boolean query (ParBoX)")
 	repl := flag.Bool("repl", false, "local mode: read queries interactively from stdin")
+	codecName := flag.String("codec", "binary", "remote mode: wire codec, binary or gob (must match the paxsite servers)")
 	flag.Parse()
 
 	if *query == "" && !*repl {
@@ -60,7 +61,7 @@ func main() {
 	case *file != "":
 		runLocal(*file, *query, *algo, *xa, *stats, *shipXML, *boolMode, *frags, cuts, *maxNodes, *sites, *seed)
 	case *manifest != "":
-		runRemote(*manifest, sitesFlags, *query, *algo, *xa, *stats, *shipXML)
+		runRemote(*manifest, sitesFlags, *query, *algo, *xa, *stats, *shipXML, *codecName)
 	default:
 		fmt.Fprintln(os.Stderr, "paxq: one of -file (local) or -manifest (remote) is required")
 		os.Exit(2)
@@ -179,7 +180,11 @@ func runLocal(file, query, algo string, xa, stats, shipXML, boolMode bool, frags
 	}
 }
 
-func runRemote(manifestPath string, siteFlags []string, query, algo string, xa, stats, shipXML bool) {
+func runRemote(manifestPath string, siteFlags []string, query, algo string, xa, stats, shipXML bool, codecName string) {
+	codec, err := dist.ParseCodec(codecName)
+	if err != nil {
+		fatal(err)
+	}
 	m, err := fragment.LoadManifest(manifestPath)
 	if err != nil {
 		fatal(err)
@@ -209,7 +214,7 @@ func runRemote(manifestPath string, siteFlags []string, query, algo string, xa, 
 	if err != nil {
 		fatal(err)
 	}
-	tcp := dist.NewTCP(addrs)
+	tcp := dist.NewTCP(addrs, dist.WithCodec(codec))
 	defer tcp.Close()
 	eng := pax.NewEngine(topo, tcp)
 

@@ -67,7 +67,14 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request evaluation deadline (0 = none)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
 	siteParallel := flag.Int("site-parallelism", 0, "per-site fragment evaluation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	codecName := flag.String("codec", "binary", "wire codec between coordinator and sites: binary or gob")
+	noSimplify := flag.Bool("no-simplify", false, "disable the residual-formula simplification pass at sites")
 	flag.Parse()
+
+	codec, err := paxq.ParseCodec(*codecName)
+	if err != nil {
+		fatal(err)
+	}
 
 	var doc *paxq.Document
 	switch {
@@ -103,6 +110,8 @@ func main() {
 		MaxInFlight:      *maxInflight,
 		QueueTimeout:     *queueTimeout,
 		SiteParallelism:  *siteParallel,
+		Codec:            codec,
+		DisableSimplify:  *noSimplify,
 	})
 	if err != nil {
 		fatal(err)

@@ -28,7 +28,14 @@ func main() {
 	fragList := flag.String("frags", "all", "comma-separated fragment IDs to host, or 'all'")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address")
 	siteID := flag.Int("site", 0, "site identifier (informational)")
+	codecName := flag.String("codec", "binary", "wire codec: binary or gob (must match the coordinator)")
+	noSimplify := flag.Bool("no-simplify", false, "disable the residual-formula simplification pass")
 	flag.Parse()
+
+	codec, err := dist.ParseCodec(*codecName)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "paxsite: -dir is required")
@@ -61,7 +68,8 @@ func main() {
 		frags = append(frags, f)
 	}
 	site := pax.NewSite(dist.SiteID(*siteID), frags)
-	srv, err := dist.NewTCPServer(*listen, site.Handler())
+	site.SetSimplify(!*noSimplify)
+	srv, err := dist.NewTCPServer(*listen, site.Handler(), dist.WithCodec(codec))
 	if err != nil {
 		fatal(err)
 	}

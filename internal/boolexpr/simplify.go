@@ -1,0 +1,157 @@
+package boolexpr
+
+import "encoding/binary"
+
+// Simplification pass applied before a site ships residual formulas.
+//
+// The smart constructors already fold constants, flatten nested ∧/∧ and
+// ∨/∨, and deduplicate operands — but all of their non-constant rules
+// (dedup, complementary-pair collapse, absorption) match sub-formulas by
+// POINTER identity. Two structurally identical subterms built on separate
+// traversal paths are distinct pointers, so those rules silently miss.
+// A Simplifier rebuilds a formula bottom-up through the constructors while
+// hash-consing every node — each variable is interned to one canonical
+// leaf ("interned variable numbering"), and each composite node is keyed
+// by its operator and the identities of its already-canonical children —
+// so structural equality becomes pointer equality and every constructor
+// rule fires. The result is semantically identical and never larger;
+// shipped bytes shrink whenever a residual formula repeats sub-structure.
+type Simplifier struct {
+	memo  map[*Formula]*Formula // input node -> canonical simplified node
+	vars  map[Var]*Formula      // interned variable leaves
+	nodes map[string]*Formula   // structural key -> canonical node
+	ids   map[*Formula]int32    // canonical node -> dense id (key material)
+	next  int32
+	key   []byte // scratch for structural keys
+}
+
+// NewSimplifier returns an empty Simplifier. Reusing one instance across
+// the formulas of one message (e.g. a root-vector pair) interns shared
+// sub-structure across the whole vector, not just within each entry.
+func NewSimplifier() *Simplifier {
+	return &Simplifier{
+		memo:  make(map[*Formula]*Formula),
+		vars:  make(map[Var]*Formula),
+		nodes: make(map[string]*Formula),
+		ids:   make(map[*Formula]int32),
+	}
+}
+
+// id returns the dense identity of a canonical node, assigning one on
+// first sight.
+func (s *Simplifier) id(f *Formula) int32 {
+	if id, ok := s.ids[f]; ok {
+		return id
+	}
+	s.next++
+	s.ids[f] = s.next
+	return s.next
+}
+
+// intern maps a constructor-built node to its canonical representative.
+// The node's children are already canonical, so a structural key over
+// (op, child ids) — or (op, var) for leaves — captures structural
+// equality exactly.
+func (s *Simplifier) intern(f *Formula) *Formula {
+	switch f.op {
+	case OpTrue, OpFalse:
+		return f // package-level singletons are canonical already
+	case OpVar:
+		if c, ok := s.vars[f.v]; ok {
+			return c
+		}
+		s.vars[f.v] = f
+		return f
+	}
+	k := append(s.key[:0], byte(f.op))
+	for _, kid := range f.kids {
+		k = binary.AppendVarint(k, int64(s.id(kid)))
+	}
+	s.key = k
+	if c, ok := s.nodes[string(k)]; ok {
+		return c
+	}
+	s.nodes[string(k)] = f
+	return f
+}
+
+// Simplify returns the canonical simplified form of f. Safe to call on
+// many formulas; canonical nodes are shared between the results. The
+// traversal is an explicit stack, matching the encoder: deep alternating
+// chains cost heap, never goroutine stack — this runs on the default
+// ship path in front of AppendEncode, so it must hold the same bound.
+func (s *Simplifier) Simplify(f *Formula) *Formula {
+	if r, ok := s.memo[f]; ok {
+		return r
+	}
+	type frame struct {
+		f    *Formula
+		next int        // next child to push
+		kids []*Formula // simplified children collected so far
+	}
+	stack := make([]frame, 1, 16)
+	stack[0] = frame{f: f}
+	var result *Formula
+	// deliver pops the finished node and hands its canonical form to the
+	// parent frame (or out of the loop at the root).
+	deliver := func(r *Formula) {
+		stack = stack[:len(stack)-1]
+		if len(stack) == 0 {
+			result = r
+			return
+		}
+		p := &stack[len(stack)-1]
+		p.kids = append(p.kids, r)
+	}
+	for len(stack) > 0 {
+		top := len(stack) - 1
+		cur := stack[top].f
+		if r, ok := s.memo[cur]; ok {
+			deliver(r)
+			continue
+		}
+		switch cur.op {
+		case OpTrue, OpFalse:
+			s.memo[cur] = cur
+			deliver(cur)
+		case OpVar:
+			r := s.intern(cur)
+			s.memo[cur] = r
+			deliver(r)
+		case OpNot, OpAnd, OpOr:
+			if k := stack[top].next; k < len(cur.kids) {
+				stack[top].next++
+				stack = append(stack, frame{f: cur.kids[k]})
+				continue
+			}
+			var r *Formula
+			switch cur.op {
+			case OpNot:
+				r = s.intern(Not(stack[top].kids[0]))
+			case OpAnd:
+				r = s.intern(And(stack[top].kids...))
+			default:
+				r = s.intern(Or(stack[top].kids...))
+			}
+			s.memo[cur] = r
+			deliver(r)
+		default:
+			panic("boolexpr: corrupt formula")
+		}
+	}
+	return result
+}
+
+// Vec simplifies a vector in place-order, returning a fresh slice.
+func (s *Simplifier) Vec(fs []*Formula) []*Formula {
+	out := make([]*Formula, len(fs))
+	for i, f := range fs {
+		out[i] = s.Simplify(f)
+	}
+	return out
+}
+
+// Simplify is the one-shot form: a fresh Simplifier over a single formula.
+func Simplify(f *Formula) *Formula {
+	return NewSimplifier().Simplify(f)
+}

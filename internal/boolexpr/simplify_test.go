@@ -1,0 +1,173 @@
+package boolexpr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// distinctV builds a variable leaf that is pointer-distinct from any other
+// node for the same variable, defeating the constructors' pointer-based
+// rules — exactly the shape separate traversal paths produce.
+func distinctV(v Var) *Formula { return &Formula{op: OpVar, v: v} }
+
+func TestSimplifyCrossPointerDedup(t *testing.T) {
+	// x ∧ x with two distinct pointers: construction cannot dedup, the
+	// simplifier must.
+	f := And(distinctV(1), distinctV(1))
+	if got := Simplify(f); got.op != OpVar || got.v != 1 {
+		t.Errorf("Simplify(x∧x) = %v, want x1", got)
+	}
+	// x ∧ ¬x across distinct pointers collapses to false.
+	f = And(distinctV(2), Not(distinctV(2)))
+	if got := Simplify(f); !got.IsFalse() {
+		t.Errorf("Simplify(x∧¬x) = %v, want false", got)
+	}
+	// Absorption across distinct pointers: x ∨ (x ∧ y) → x.
+	f = Or(distinctV(3), And(distinctV(3), distinctV(4)))
+	if got := Simplify(f); got.op != OpVar || got.v != 3 {
+		t.Errorf("Simplify(x∨(x∧y)) = %v, want x3", got)
+	}
+}
+
+func TestSimplifyIdenticalSubtreesShare(t *testing.T) {
+	// Two structurally equal conjunctions built separately must intern to
+	// one node, so the disjunction collapses.
+	mk := func() *Formula { return And(distinctV(1), distinctV(2)) }
+	s := NewSimplifier()
+	a, b := s.Simplify(mk()), s.Simplify(mk())
+	if a != b {
+		t.Errorf("structurally equal subtrees interned to distinct nodes: %v vs %v", a, b)
+	}
+	if got := Simplify(Or(mk(), mk())); !Equal(got, Simplify(mk())) {
+		t.Errorf("Simplify((x∧y)∨(x∧y)) = %v, want x∧y", got)
+	}
+}
+
+func TestSimplifyNeverGrows(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fm := randomFormula(r, 5, 6)
+		s := Simplify(fm)
+		return len(Encode(s)) <= len(Encode(fm)) && s.Size() <= fm.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: simplification preserves semantics under every assignment of a
+// small variable set — the invariant that lets sites ship simplified
+// residual formulas without changing any query answer.
+func TestQuickSimplifyPreservesSemantics(t *testing.T) {
+	const nv = 4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fm := randomFormula(r, 5, nv)
+		s := Simplify(fm)
+		for mask := 0; mask < 1<<nv; mask++ {
+			get := func(v Var) bool { return mask&(1<<(int(v)-1)) != 0 }
+			if fm.Eval(get) != s.Eval(get) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyVecSharesAcrossEntries(t *testing.T) {
+	s := NewSimplifier()
+	out := s.Vec([]*Formula{
+		And(distinctV(1), distinctV(2)),
+		Or(And(distinctV(1), distinctV(2)), And(distinctV(1), distinctV(2))),
+	})
+	if out[0] != out[1] {
+		t.Errorf("vector entries did not share canonical nodes: %v vs %v", out[0], out[1])
+	}
+}
+
+// deepChain builds an alternating ¬/∧ chain of the given depth — the shape
+// the smart constructors cannot flatten, so depth survives construction.
+func deepChain(depth int) *Formula {
+	f := V(1)
+	for i := 0; i < depth; i++ {
+		f = Not(And(f, V(Var(2+i%3))))
+	}
+	return f
+}
+
+// TestEncodeDeepChainNoOverflow is the regression for the recursive
+// encoder: a fuzz-found deep chain must simplify, encode and decode on
+// the heap, not the goroutine stack. Simplify is included because the
+// default ship path runs it in front of AppendEncode — stack safety of
+// the encoder alone would be vacuous.
+func TestEncodeDeepChainNoOverflow(t *testing.T) {
+	f := deepChain(200_000)
+	s := Simplify(f)
+	if !Equal(f, s) {
+		t.Error("nothing in the chain is simplifiable; Simplify must preserve it")
+	}
+	enc := Encode(f)
+	if len(enc) != EncodedSize(f) {
+		t.Fatalf("EncodedSize = %d, Encode produced %d bytes", EncodedSize(f), len(enc))
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(f, back) {
+		t.Error("deep chain did not round-trip structurally")
+	}
+}
+
+func TestEncodePreSized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		f := randomFormula(r, 6, 8)
+		enc := Encode(f)
+		if len(enc) != EncodedSize(f) {
+			t.Fatalf("%v: EncodedSize = %d, len(Encode) = %d", f, EncodedSize(f), len(enc))
+		}
+		if cap(enc) != len(enc) {
+			t.Errorf("%v: Encode over-allocated: cap %d for %d bytes", f, cap(enc), len(enc))
+		}
+	}
+}
+
+func TestDecodeErrorsAreTyped(t *testing.T) {
+	for _, data := range [][]byte{{wNot}, {wVar}, {wVar, 0}, {0xFF}, {wTrue, wTrue}} {
+		if _, err := Decode(data); !errors.Is(err, ErrDecode) {
+			t.Errorf("Decode(%v) = %v, want ErrDecode", data, err)
+		}
+	}
+}
+
+func BenchmarkFormulaSimplify(b *testing.B) {
+	r := rand.New(rand.NewSource(42))
+	corpus := make([]*Formula, 64)
+	for i := range corpus {
+		corpus[i] = randomFormula(r, 6, 8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simplify(corpus[i%len(corpus)])
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	r := rand.New(rand.NewSource(42))
+	corpus := make([]*Formula, 64)
+	for i := range corpus {
+		corpus[i] = randomFormula(r, 6, 8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(corpus[i%len(corpus)])
+	}
+}

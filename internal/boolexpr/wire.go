@@ -2,7 +2,10 @@ package boolexpr
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+
+	"paxq/internal/wirefmt"
 )
 
 // Wire encoding of formulas: a compact postfix byte stream used by the
@@ -27,38 +30,101 @@ const (
 	wOr
 )
 
-// Encode serializes f to the postfix wire format.
-func Encode(f *Formula) []byte {
-	var out []byte
-	var enc func(f *Formula)
-	enc = func(f *Formula) {
-		switch f.op {
-		case OpFalse:
-			out = append(out, wFalse)
-		case OpTrue:
-			out = append(out, wTrue)
+// ErrDecode is wrapped by every error Decode and DecodeVec return, so a
+// corrupt or truncated formula payload is distinguishable from transport
+// failures with errors.Is.
+var ErrDecode = errors.New("boolexpr: malformed wire formula")
+
+// encWork is the explicit traversal stack shared by EncodedSize and
+// AppendEncode. Formulas can be arbitrarily deep — alternating ¬/∧ chains
+// survive the smart constructors, and fuzzing builds them thousands of
+// levels deep — so the encoder must not recurse on the goroutine stack.
+type encWork struct {
+	f    *Formula
+	kid  int  // next child to visit
+	done bool // children visited; emit this node's operator
+}
+
+// EncodedSize returns the exact number of bytes Encode produces for f,
+// without allocating. Encode uses it to size its output in one allocation;
+// callers batching many formulas into one buffer can use it the same way.
+func EncodedSize(f *Formula) int {
+	n := 0
+	stack := []*Formula{f}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		switch cur.op {
+		case OpFalse, OpTrue:
+			n++
 		case OpVar:
-			out = append(out, wVar)
-			out = binary.AppendUvarint(out, uint64(f.v))
+			n += 1 + wirefmt.UvarintLen(uint64(cur.v))
 		case OpNot:
-			enc(f.kids[0])
-			out = append(out, wNot)
+			n++
+			stack = append(stack, cur.kids[0])
 		case OpAnd, OpOr:
-			for _, k := range f.kids {
-				enc(k)
-			}
-			op := wAnd
-			if f.op == OpOr {
-				op = wOr
-			}
-			out = append(out, op)
-			out = binary.AppendUvarint(out, uint64(len(f.kids)))
+			n += 1 + wirefmt.UvarintLen(uint64(len(cur.kids)))
+			stack = append(stack, cur.kids...)
 		default:
 			panic("boolexpr: corrupt formula")
 		}
 	}
-	enc(f)
-	return out
+	return n
+}
+
+// AppendEncode appends f's postfix wire encoding to dst and returns the
+// extended slice. The traversal is an explicit stack, so deep chains cost
+// heap, never goroutine stack.
+func AppendEncode(dst []byte, f *Formula) []byte {
+	stack := make([]encWork, 1, 16)
+	stack[0] = encWork{f: f}
+	for len(stack) > 0 {
+		top := len(stack) - 1
+		cur := stack[top].f
+		if stack[top].done {
+			// Children emitted; emit the operator.
+			stack = stack[:top]
+			switch cur.op {
+			case OpNot:
+				dst = append(dst, wNot)
+			case OpAnd:
+				dst = append(dst, wAnd)
+				dst = binary.AppendUvarint(dst, uint64(len(cur.kids)))
+			default: // OpOr
+				dst = append(dst, wOr)
+				dst = binary.AppendUvarint(dst, uint64(len(cur.kids)))
+			}
+			continue
+		}
+		switch cur.op {
+		case OpFalse:
+			dst = append(dst, wFalse)
+			stack = stack[:top]
+		case OpTrue:
+			dst = append(dst, wTrue)
+			stack = stack[:top]
+		case OpVar:
+			dst = append(dst, wVar)
+			dst = binary.AppendUvarint(dst, uint64(cur.v))
+			stack = stack[:top]
+		case OpNot, OpAnd, OpOr:
+			if k := stack[top].kid; k < len(cur.kids) {
+				stack[top].kid++
+				stack = append(stack, encWork{f: cur.kids[k]})
+			} else {
+				stack[top].done = true
+			}
+		default:
+			panic("boolexpr: corrupt formula")
+		}
+	}
+	return dst
+}
+
+// Encode serializes f to the postfix wire format: one sizing pass, one
+// allocation.
+func Encode(f *Formula) []byte {
+	return AppendEncode(make([]byte, 0, EncodedSize(f)), f)
 }
 
 // EncodeVec encodes a vector of formulas.
@@ -73,22 +139,15 @@ func EncodeVec(fs []*Formula) [][]byte {
 // Decode parses the postfix wire format back into a formula. The smart
 // constructors re-apply simplification, so Decode(Encode(f)) is
 // semantically equal to f (and structurally equal for constructor-built
-// formulas).
+// formulas). Evaluation is an explicit value stack — the input controls
+// its size, never the recursion depth — and every failure wraps ErrDecode.
 func Decode(data []byte) (*Formula, error) {
-	var stack []*Formula
-	pop := func() (*Formula, error) {
-		if len(stack) == 0 {
-			return nil, fmt.Errorf("boolexpr: decode: stack underflow")
-		}
-		f := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return f, nil
-	}
+	stack := make([]*Formula, 0, 8)
 	i := 0
 	readUvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(data[i:])
 		if n <= 0 {
-			return 0, fmt.Errorf("boolexpr: decode: bad varint at %d", i)
+			return 0, fmt.Errorf("%w: bad varint at %d", ErrDecode, i)
 		}
 		i += n
 		return v, nil
@@ -107,38 +166,36 @@ func Decode(data []byte) (*Formula, error) {
 				return nil, err
 			}
 			if v == 0 || v > uint64(^uint32(0)>>1) {
-				return nil, fmt.Errorf("boolexpr: decode: bad variable %d", v)
+				return nil, fmt.Errorf("%w: bad variable %d", ErrDecode, v)
 			}
 			stack = append(stack, V(Var(v)))
 		case wNot:
-			f, err := pop()
-			if err != nil {
-				return nil, err
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("%w: stack underflow", ErrDecode)
 			}
-			stack = append(stack, Not(f))
+			stack[len(stack)-1] = Not(stack[len(stack)-1])
 		case wAnd, wOr:
 			n, err := readUvarint()
 			if err != nil {
 				return nil, err
 			}
 			if uint64(len(stack)) < n {
-				return nil, fmt.Errorf("boolexpr: decode: %d operands for arity %d", len(stack), n)
+				return nil, fmt.Errorf("%w: %d operands for arity %d", ErrDecode, len(stack), n)
 			}
-			kids := make([]*Formula, n)
-			for j := int(n) - 1; j >= 0; j-- {
-				kids[j], _ = pop()
-			}
+			kids := stack[uint64(len(stack))-n:]
+			var f *Formula
 			if op == wAnd {
-				stack = append(stack, And(kids...))
+				f = And(kids...)
 			} else {
-				stack = append(stack, Or(kids...))
+				f = Or(kids...)
 			}
+			stack = append(stack[:uint64(len(stack))-n], f)
 		default:
-			return nil, fmt.Errorf("boolexpr: decode: unknown opcode %d at %d", op, i-1)
+			return nil, fmt.Errorf("%w: unknown opcode %d at %d", ErrDecode, op, i-1)
 		}
 	}
 	if len(stack) != 1 {
-		return nil, fmt.Errorf("boolexpr: decode: %d values left on stack", len(stack))
+		return nil, fmt.Errorf("%w: %d values left on stack", ErrDecode, len(stack))
 	}
 	return stack[0], nil
 }

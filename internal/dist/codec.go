@@ -6,26 +6,92 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"strings"
+	"sync"
 	"time"
 )
 
-// Register makes a concrete request or response type known to the codec.
-// Every value passed through Call or returned by a Handler must have its
+// Codec selects the wire encoding of request and response envelopes. Both
+// ends of a transport must use the same codec.
+//
+//   - Binary (the default) is the hand-written, versioned binary format:
+//     messages implement BinaryMessage and travel as a numeric tag plus a
+//     hand-encoded body. No type descriptors, no reflection — the bytes on
+//     the wire track the paper's cost accounting (residual formulas ship
+//     in their boolexpr postfix encoding plus a few bytes of framing).
+//   - Gob is the reflection-driven encoding/gob envelope, kept purely as a
+//     differential cross-check: a fresh encoder per message retransmits
+//     full type descriptors every time, so it is strictly larger and
+//     slower, but any answer divergence between the two codecs flags a
+//     hand-encoding bug.
+type Codec uint8
+
+// Available codecs.
+const (
+	Binary Codec = iota
+	Gob
+)
+
+func (c Codec) String() string {
+	if c == Gob {
+		return "gob"
+	}
+	return "binary"
+}
+
+// ParseCodec maps a flag value to a Codec, case-insensitively: "binary"
+// (or empty, the default) and "gob". The single parser every command
+// shares, so flag behavior cannot drift between binaries.
+func ParseCodec(s string) (Codec, error) {
+	switch strings.ToLower(s) {
+	case "", "binary":
+		return Binary, nil
+	case "gob":
+		return Gob, nil
+	}
+	return Binary, fmt.Errorf("dist: unknown codec %q (want binary or gob)", s)
+}
+
+// Option configures a transport endpoint (Local, TCP, TCPServer).
+type Option func(*endpointOptions)
+
+type endpointOptions struct {
+	codec Codec
+}
+
+// WithCodec selects the wire codec. The default is Binary; pass Gob to run
+// the legacy gob envelopes (differential cross-checks, mixed deployments
+// mid-migration).
+func WithCodec(c Codec) Option {
+	return func(o *endpointOptions) { o.codec = c }
+}
+
+func applyOptions(opts []Option) endpointOptions {
+	var o endpointOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// Register makes a concrete request or response type known to the Gob
+// codec. Every value passed through a Gob-codec transport must have its
 // type registered (gob interface encoding); registering the same type
 // again is a no-op, while registering a different type under an
-// already-taken name panics, exactly as encoding/gob does.
+// already-taken name panics, exactly as encoding/gob does. The Binary
+// codec ignores this registry — see RegisterBinary.
 func Register(msg any) {
 	gob.Register(msg)
 }
 
-// reqEnvelope is the payload of a request frame.
+// reqEnvelope is the payload of a gob request frame.
 type reqEnvelope struct {
 	Req any
 }
 
-// nanos is a duration in nanoseconds with a fixed 8-byte gob encoding.
-// The default varint encoding would make a response's wire size depend on
-// the magnitude of the site's computation time, so byte totals would
+// nanos is a duration in nanoseconds with a fixed 8-byte encoding under
+// both codecs. A varint encoding would make a response's wire size depend
+// on the magnitude of the site's computation time, so byte totals would
 // jitter from run to run; with a fixed width, identical payloads produce
 // identical frame sizes regardless of timing. Writers must keep the value
 // strictly positive: gob omits zero-valued fields even for custom
@@ -57,14 +123,110 @@ func clampNanos(d time.Duration) nanos {
 	return nanos(d)
 }
 
-// respEnvelope is the payload of a response frame. Exactly one of Resp and
-// Err is meaningful; ComputeNanos is the handler's computation time at the
-// site (self-reported via ComputeReporter when the site evaluated in
-// parallel, measured wall time otherwise).
+// respEnvelope is the decoded form of a response frame. Exactly one of
+// Resp and Err is meaningful; ComputeNanos is the handler's computation
+// time at the site (self-reported via ComputeReporter when the site
+// evaluated in parallel, measured wall time otherwise).
 type respEnvelope struct {
 	Resp         any
 	Err          string
 	ComputeNanos nanos
+}
+
+// appendRequest appends the request payload for codec c to dst.
+func (c Codec) appendRequest(dst []byte, req any) ([]byte, error) {
+	if c == Gob {
+		return appendGob(dst, reqEnvelope{Req: req})
+	}
+	return appendBinaryRequest(dst, req)
+}
+
+// decodeRequest decodes a request payload.
+func (c Codec) decodeRequest(p []byte) (any, error) {
+	if c == Gob {
+		var env reqEnvelope
+		if err := decodePayload(p, &env); err != nil {
+			return nil, err
+		}
+		return env.Req, nil
+	}
+	return decodeBinaryRequest(p)
+}
+
+// appendResponse appends the response payload for codec c to dst.
+func (c Codec) appendResponse(dst []byte, env respEnvelope) ([]byte, error) {
+	if c == Gob {
+		return appendGob(dst, env)
+	}
+	return appendBinaryResponse(dst, env)
+}
+
+// decodeResponse decodes a response payload.
+func (c Codec) decodeResponse(p []byte) (respEnvelope, error) {
+	if c == Gob {
+		var env respEnvelope
+		if err := decodePayload(p, &env); err != nil {
+			return respEnvelope{}, err
+		}
+		return env, nil
+	}
+	return decodeBinaryResponse(p)
+}
+
+// EncodeRequest encodes req as a request payload under c. Exported for
+// benchmarks and differential codec tests; transports use the pooled
+// append path internally.
+func EncodeRequest(c Codec, req any) ([]byte, error) {
+	return c.appendRequest(nil, req)
+}
+
+// DecodeRequest decodes a request payload produced by EncodeRequest (or
+// read off the wire) under c.
+func DecodeRequest(c Codec, payload []byte) (any, error) {
+	return c.decodeRequest(payload)
+}
+
+// EncodeResponse encodes a response payload under c: a successful resp, or
+// a handler error string, with the site's computation time. Exported for
+// benchmarks and differential codec tests.
+func EncodeResponse(c Codec, resp any, handlerErr string, compute time.Duration) ([]byte, error) {
+	return c.appendResponse(nil, respEnvelope{Resp: resp, Err: handlerErr, ComputeNanos: clampNanos(compute)})
+}
+
+// DecodeResponse decodes a response payload under c, returning the
+// response value, the handler error string (empty on success) and the
+// reported computation time.
+func DecodeResponse(c Codec, payload []byte) (resp any, handlerErr string, compute time.Duration, err error) {
+	env, err := c.decodeResponse(payload)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	return env.Resp, env.Err, time.Duration(env.ComputeNanos), nil
+}
+
+// appendGob gob-encodes v with a fresh encoder (self-contained payload)
+// and appends the result to dst. Gob's encoder writes to its own buffer,
+// so this path pays one copy — acceptable for the cross-check codec.
+func appendGob(dst []byte, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("dist: encode %T: %w", v, err)
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+// encodePayload gob-encodes v with a fresh encoder, so the resulting
+// payload is self-contained.
+func encodePayload(v any) ([]byte, error) {
+	return appendGob(nil, v)
+}
+
+// decodePayload decodes a self-contained gob payload into v.
+func decodePayload(p []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(v); err != nil {
+		return fmt.Errorf("dist: decode: %w", err)
+	}
+	return nil
 }
 
 // frameHeader is the size of the length prefix preceding every payload.
@@ -74,22 +236,49 @@ const frameHeader = 4
 // hostile stream and abort the connection.
 const maxFrame = 1 << 30
 
-// encodePayload gob-encodes v with a fresh encoder, so the resulting
-// payload is self-contained.
-func encodePayload(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("dist: encode %T: %w", v, err)
-	}
-	return buf.Bytes(), nil
+// framePool recycles whole-frame buffers (header + payload) across calls
+// and responses, so the steady-state frame write path allocates nothing.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
 }
 
-// decodePayload decodes a self-contained gob payload into v.
-func decodePayload(p []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(v); err != nil {
-		return fmt.Errorf("dist: decode: %w", err)
+// maxPooledFrame caps the capacity a buffer may retain in the pool; the
+// occasional giant frame (a NaiveCentralized fetch) must not pin its
+// buffer forever.
+const maxPooledFrame = 1 << 20
+
+func getFrame() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrame(bp *[]byte) {
+	if cap(*bp) <= maxPooledFrame {
+		framePool.Put(bp)
 	}
-	return nil
+}
+
+// encodeFrame encodes one length-prefixed frame into a pooled buffer:
+// 4 bytes of header space, then the payload appended by fill, then the
+// header patched in — laid out contiguously so the caller ships it with a
+// single Write. Returns the buffer pointer (release with putFrame) and
+// the framed bytes.
+func encodeFrame(fill func(dst []byte) ([]byte, error)) (*[]byte, []byte, error) {
+	bp := getFrame()
+	buf := append((*bp)[:0], 0, 0, 0, 0)
+	buf, err := fill(buf)
+	if err != nil {
+		putFrame(bp)
+		return nil, nil, err
+	}
+	n := len(buf) - frameHeader
+	if n > maxFrame {
+		putFrame(bp)
+		return nil, nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(buf, uint32(n))
+	*bp = buf // keep the grown capacity for reuse
+	return bp, buf, nil
 }
 
 // writeFrame writes one length-prefixed payload. It returns the total
@@ -101,12 +290,13 @@ func decodePayload(p []byte, v any) error {
 // TCP_NODELAY, so separate writes would flush the 4-byte header as its
 // own segment.
 func writeFrame(w io.Writer, payload []byte) (int64, error) {
-	if len(payload) > maxFrame {
-		return 0, fmt.Errorf("dist: frame of %d bytes exceeds limit", len(payload))
+	bp, frame, err := encodeFrame(func(dst []byte) ([]byte, error) {
+		return append(dst, payload...), nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	frame := make([]byte, frameHeader+len(payload))
-	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
-	copy(frame[frameHeader:], payload)
+	defer putFrame(bp)
 	if _, err := w.Write(frame); err != nil {
 		return 0, err
 	}
@@ -121,7 +311,9 @@ func writeFrame(w io.Writer, payload []byte) (int64, error) {
 const maxEagerAlloc = 1 << 20
 
 // readFrame reads one length-prefixed payload and the total bytes taken
-// off the wire.
+// off the wire. The returned buffer is freshly allocated and owned by the
+// caller: binary decoding aliases sub-slices of it (zero-copy formula
+// payloads), so frames read here are never pooled.
 func readFrame(r io.Reader) ([]byte, int64, error) {
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {

@@ -1,0 +1,137 @@
+// Codec microbenchmarks over the real pax stage-message corpus. An
+// external test package: internal/pax registers its messages with both
+// codecs at init, without an import cycle into dist's own tests.
+package dist_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"paxq/internal/boolexpr"
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+	"paxq/internal/pax"
+)
+
+// stageCorpus builds a deterministic mix of the stage requests and
+// responses a PaX3 evaluation round-trips, with realistic residual
+// formulas in the vectors.
+func stageCorpus(seed int64) []any {
+	r := rand.New(rand.NewSource(seed))
+	formula := func() []byte {
+		f := boolexpr.V(boolexpr.Var(1 + r.Intn(64)))
+		for i := 0; i < 2+r.Intn(5); i++ {
+			g := boolexpr.And(boolexpr.V(boolexpr.Var(1+r.Intn(64))), boolexpr.Not(boolexpr.V(boolexpr.Var(1+r.Intn(64)))))
+			f = boolexpr.Or(f, g)
+		}
+		return boolexpr.Encode(f)
+	}
+	vec := func(n int) pax.WireVec {
+		v := make(pax.WireVec, n)
+		for i := range v {
+			v[i] = formula()
+		}
+		return v
+	}
+	bools := func(n int) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = r.Intn(2) == 0
+		}
+		return out
+	}
+	return []any{
+		&pax.QualStageReq{QID: 12, Query: "//people/person[profile/age > 30]/name", NumFrags: 12},
+		&pax.QualStageResp{Roots: []pax.WireRootVecs{
+			{Frag: 0, QV: vec(4), QDV: vec(4), RootSelQual: vec(3)},
+			{Frag: 4, QV: vec(4), QDV: vec(4)},
+			{Frag: 7, QV: vec(4), QDV: vec(4)},
+		}},
+		&pax.SelStageReq{
+			QID: 12, Query: "//people/person[profile/age > 30]/name", NumFrags: 12,
+			Frags: []fragment.FragID{0, 4, 7},
+			VirtualQuals: []pax.WireBoolVals{
+				{Frag: 4, QV: bools(4), QDV: bools(4)},
+				{Frag: 7, QV: bools(4), QDV: bools(4), Known: bools(4)},
+			},
+			Inits: []pax.WireInit{{Frag: 4, SV: bools(6)}},
+		},
+		&pax.SelStageResp{
+			Contexts: []pax.WireContext{{Frag: 4, SV: vec(3)}, {Frag: 7, SV: vec(3)}},
+			Answers: []pax.AnswerNode{
+				{Frag: 0, Node: 31, Label: "name", Value: "Ada Lovelace"},
+				{Frag: 4, Node: 110, Label: "name", Value: "Alan Turing"},
+			},
+			Candidates: []fragment.FragID{7},
+		},
+		&pax.AnsStageReq{QID: 12, Inits: []pax.WireInit{{Frag: 7, SV: bools(6)}}},
+		&pax.AnsStageResp{Answers: []pax.AnswerNode{{Frag: 7, Node: 12, Label: "name", Value: "Grace Hopper"}}},
+	}
+}
+
+// BenchmarkCodecRoundTrip encodes and decodes the stage corpus through
+// each codec's envelope path — the per-message CPU, bytes and allocations
+// of one simulated visit, without socket noise. wireB/op reports the
+// payload bytes per operation.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	corpus := stageCorpus(1)
+	for _, codec := range []dist.Codec{dist.Binary, dist.Gob} {
+		b.Run(codec.String(), func(b *testing.B) {
+			var wire int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				msg := corpus[i%len(corpus)]
+				p, err := dist.EncodeRequest(codec, msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dist.DecodeRequest(codec, p); err != nil {
+					b.Fatal(err)
+				}
+				rp, err := dist.EncodeResponse(codec, msg, "", 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, _, err := dist.DecodeResponse(codec, rp); err != nil {
+					b.Fatal(err)
+				}
+				wire += int64(len(p) + len(rp))
+			}
+			b.ReportMetric(float64(wire)/float64(b.N), "wireB/op")
+		})
+	}
+}
+
+// TestCodecRoundTripAdvantage pins the acceptance bar outside the bench
+// harness: over the stage corpus, the binary codec must use at most half
+// the bytes and at most half the allocations of gob.
+func TestCodecRoundTripAdvantage(t *testing.T) {
+	corpus := stageCorpus(2)
+	measure := func(codec dist.Codec) (bytes int64, allocs float64) {
+		allocs = testing.AllocsPerRun(50, func() {
+			bytes = 0
+			for _, msg := range corpus {
+				p, err := dist.EncodeRequest(codec, msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := dist.DecodeRequest(codec, p); err != nil {
+					t.Fatal(err)
+				}
+				bytes += int64(len(p))
+			}
+		})
+		return
+	}
+	binBytes, binAllocs := measure(dist.Binary)
+	gobBytes, gobAllocs := measure(dist.Gob)
+	t.Logf("binary: %d bytes, %.0f allocs; gob: %d bytes, %.0f allocs (corpus of %d messages)",
+		binBytes, binAllocs, gobBytes, gobAllocs, len(corpus))
+	if binBytes*2 > gobBytes {
+		t.Errorf("binary ships %d bytes, gob %d: want >= 2x reduction", binBytes, gobBytes)
+	}
+	if binAllocs*2 > gobAllocs {
+		t.Errorf("binary costs %.0f allocs, gob %.0f: want >= 2x reduction", binAllocs, gobAllocs)
+	}
+}

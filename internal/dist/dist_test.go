@@ -8,9 +8,14 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"paxq/internal/wirefmt"
 )
 
-// echoReq/echoResp are the round-trip test messages.
+// echoReq/echoResp are the round-trip test messages. They speak both
+// codecs: gob via Register, binary via hand-written bodies (tags chosen
+// clear of internal/pax's 1..N block, since external test packages link
+// pax into the same binary).
 type echoReq struct {
 	Payload string
 }
@@ -20,7 +25,48 @@ type echoResp struct {
 	Site    SiteID
 }
 
-// unregistered never goes through Register; sending it must fail cleanly.
+const (
+	tagEchoReq  MsgTag = 0xE1
+	tagEchoResp MsgTag = 0xE2
+)
+
+func (r *echoReq) WireTag() MsgTag { return tagEchoReq }
+
+func (r *echoReq) AppendBinary(dst []byte) ([]byte, error) {
+	return wirefmt.AppendString(dst, r.Payload), nil
+}
+
+func (r *echoReq) DecodeBinary(p []byte) error {
+	s, rest, err := wirefmt.String(p)
+	if err != nil || len(rest) != 0 {
+		return fmt.Errorf("echoReq: %d trailing bytes, err %v", len(rest), err)
+	}
+	r.Payload = s
+	return nil
+}
+
+func (r *echoResp) WireTag() MsgTag { return tagEchoResp }
+
+func (r *echoResp) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirefmt.AppendString(dst, r.Payload)
+	return wirefmt.AppendUvarint(dst, uint64(r.Site)), nil
+}
+
+func (r *echoResp) DecodeBinary(p []byte) error {
+	s, rest, err := wirefmt.String(p)
+	if err != nil {
+		return err
+	}
+	site, rest, err := wirefmt.Uvarint(rest)
+	if err != nil || len(rest) != 0 {
+		return fmt.Errorf("echoResp: %d trailing bytes, err %v", len(rest), err)
+	}
+	r.Payload, r.Site = s, SiteID(site)
+	return nil
+}
+
+// unregistered implements neither BinaryMessage nor a gob registration;
+// sending it must fail cleanly under either codec.
 type unregistered struct {
 	X int
 }
@@ -28,6 +74,8 @@ type unregistered struct {
 func init() {
 	Register(&echoReq{})
 	Register(&echoResp{})
+	RegisterBinary(func() BinaryMessage { return new(echoReq) })
+	RegisterBinary(func() BinaryMessage { return new(echoResp) })
 }
 
 // echoHandler answers with the request payload tagged by site, failing on

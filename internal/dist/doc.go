@@ -15,35 +15,75 @@
 // deadline instead of wedging it (the TCP client unblocks in-flight I/O
 // by poisoning the connection's deadline and discards the connection).
 // Both sides exchange ordinary Go values; every concrete request and
-// response type must be made known to the codec with Register (typically
-// from an init function, as internal/pax does for its stage messages).
+// response type must be known to the codec in use — RegisterBinary for
+// the default Binary codec, Register (gob) for the Gob codec.
 //
 // Two implementations exist with identical semantics:
 //
 //   - Local: sites are handlers in the same process. Calls are direct
 //     function invocations, but requests and responses are still passed
 //     through the wire codec to meter their encoded size, so byte counts
-//     match what the TCP transport would ship. A FaultHook allows tests to
-//     inject per-call network faults.
+//     match what a TCP deployment with the same codec would ship. A
+//     FaultHook allows tests to inject per-call network faults.
 //   - TCP: each site is a TCPServer; the TCP client dials the configured
 //     address map and keeps a pool of idle connections per site.
 //
 // # Wire format
 //
 // Every message is one frame: a 4-byte big-endian length n followed by n
-// bytes of payload, where the payload is a self-contained gob stream (a
-// fresh encoder per frame, so frames can be decoded independently of
-// connection history). A request frame carries reqEnvelope{Req}; a response
-// frame carries respEnvelope{Resp, Err, ComputeNanos}. A handler error
-// travels back as Err and is surfaced by Call as an error; ComputeNanos is
-// the handler's computation time at the site, which the client accounts to
-// that site's Metrics so ComputeAt reflects remote computation, not
-// network latency. It encodes with a fixed width so a frame's size never
-// depends on timing, and a handler whose response implements
-// ComputeReporter (a site that evaluated fragments in parallel) supplies
-// the summed per-fragment computation in place of measured wall time —
-// the field is consumed and zeroed before encoding either way, keeping
-// response payloads identical across scheduling modes.
+// bytes of payload. Frames are independent — no connection history is
+// needed to decode one. The payload format is set by the endpoint's Codec
+// (WithCodec); both ends of a connection must agree.
+//
+// Binary (default) is the hand-written, versioned format:
+//
+//	frame    := length:4 payload          (big-endian length, <= 1 GiB)
+//	payload  := version kind rest
+//	version  := 0x01
+//	kind     := 0x00 request | 0x01 response
+//	request  := tag body                  (tag 0: nil request, no body)
+//	response := compute:8 status rest     (compute: handler nanoseconds,
+//	                                       big-endian, fixed width)
+//	status   := 0x00 ok  -> tag body      (tag 0: nil response)
+//	          | 0x01 err -> uvarint-length-prefixed error string
+//	tag      := uvarint                   (numeric type id, RegisterBinary)
+//	body     := the message's own hand-written encoding (BinaryMessage)
+//
+// Message bodies are built from the primitives of internal/wirefmt
+// (varints, length-prefixed strings/bytes, bit-packed bool vectors);
+// internal/pax encodes residual Boolean formulas in their boolexpr
+// postfix form, so a stage payload is dominated by exactly the
+// O(|residual formulas|) bytes of the paper's communication bound — a tag
+// and a few varints of envelope, no type descriptors, no reflection.
+// Decoding a wrong version byte fails with ErrBadVersion, an unknown tag
+// with ErrUnknownTag, and a structurally broken envelope with
+// ErrBadEnvelope — all matchable with errors.Is.
+//
+// Gob is the legacy payload: a self-contained gob stream (fresh encoder
+// per frame) carrying a request or response envelope. A fresh encoder
+// retransmits full type descriptors on every message, which is why it
+// lost its place on the hot path; it is kept behind WithCodec(Gob) as a
+// differential cross-check (internal/harness runs random workloads under
+// both codecs and demands identical answers and visit counts) and for
+// mixed deployments mid-migration.
+//
+// Under both codecs the handler computation time travels with a fixed
+// 8-byte width so a frame's size never depends on timing, and a handler
+// whose response implements ComputeReporter (a site that evaluated
+// fragments in parallel) supplies the summed per-fragment computation in
+// place of measured wall time — the field is consumed and zeroed before
+// encoding either way, keeping response payloads identical across
+// scheduling modes.
+//
+// # Buffer management
+//
+// Outgoing frames are laid out in pooled buffers (sync.Pool): 4 bytes of
+// header space, the envelope appended in place, the header patched in,
+// one Write for the whole frame. The steady-state frame write path
+// allocates nothing and never flushes a bare header as its own TCP
+// segment. Incoming frames are read into fresh buffers, never pooled,
+// because binary decoding aliases sub-slices (zero-copy formula payloads)
+// that may outlive the call that read them.
 //
 // # Cost accounting
 //

@@ -16,6 +16,17 @@ func FuzzReadFrame(f *testing.F) {
 		writeFrame(&buf, payload)
 		f.Add(buf.Bytes())
 	}
+	// Well-formed binary-codec frames: a request and an error response.
+	if payload, err := EncodeRequest(Binary, &echoReq{Payload: "seed"}); err == nil {
+		var buf bytes.Buffer
+		writeFrame(&buf, payload)
+		f.Add(buf.Bytes())
+	}
+	if payload, err := EncodeResponse(Binary, nil, "seed error", 1); err == nil {
+		var buf bytes.Buffer
+		writeFrame(&buf, payload)
+		f.Add(buf.Bytes())
+	}
 	f.Add([]byte{})                             // empty stream
 	f.Add([]byte{0, 0, 0, 0})                   // zero-length frame
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})       // length beyond maxFrame
@@ -35,9 +46,9 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
-// FuzzDecodeEnvelope feeds arbitrary bytes to the gob payload decoder for
-// both envelope types — the exact path a hostile peer controls after
-// framing. Malformed input must error, never panic.
+// FuzzDecodeEnvelope feeds arbitrary bytes to the payload decoders of
+// both codecs and both envelope kinds — the exact path a hostile peer
+// controls after framing. Malformed input must error, never panic.
 func FuzzDecodeEnvelope(f *testing.F) {
 	if p, err := encodePayload(respEnvelope{Err: "boom", ComputeNanos: 1}); err == nil {
 		f.Add(p)
@@ -45,12 +56,28 @@ func FuzzDecodeEnvelope(f *testing.F) {
 	if p, err := encodePayload(reqEnvelope{Req: nil}); err == nil {
 		f.Add(p)
 	}
+	// Binary-codec seeds: request, ok-response, error-response, plus
+	// corrupted shapes (wrong version, unknown tag, truncated body).
+	if p, err := EncodeRequest(Binary, &echoReq{Payload: "seed request"}); err == nil {
+		f.Add(p)
+		f.Add(p[:len(p)-3])
+		bad := append([]byte(nil), p...)
+		bad[0] = 0x7f
+		f.Add(bad)
+	}
+	if p, err := EncodeResponse(Binary, &echoResp{Payload: "pong", Site: 3}, "", 1); err == nil {
+		f.Add(p)
+	}
+	if p, err := EncodeResponse(Binary, nil, "handler failed", 1); err == nil {
+		f.Add(p)
+	}
+	f.Add([]byte{binVersion, binKindReq, 0xBD, 0x01}) // unknown tag 189
 	f.Add([]byte{})
 	f.Add([]byte{0x03, 0xff, 0x82})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var resp respEnvelope
-		_ = decodePayload(data, &resp)
-		var req reqEnvelope
-		_ = decodePayload(data, &req)
+		for _, codec := range []Codec{Binary, Gob} {
+			_, _ = codec.decodeRequest(data)
+			_, _ = codec.decodeResponse(data)
+		}
 	})
 }

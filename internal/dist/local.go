@@ -10,12 +10,14 @@ import (
 // Local is the in-process transport: every site is a Handler in the same
 // address space. Calls invoke the handler directly but still run request
 // and response through the wire codec so byte counts match a TCP
-// deployment of the same cluster.
+// deployment of the same cluster with the same codec.
 type Local struct {
 	// FaultHook, when set, runs before each call and can fail it —
 	// simulating an unreachable site or a dropped message. Set it only
 	// while no calls are in flight.
 	FaultHook func(to SiteID, req any) error
+
+	codec Codec
 
 	mu       sync.RWMutex
 	handlers map[SiteID]Handler
@@ -23,8 +25,9 @@ type Local struct {
 }
 
 // NewLocal creates an empty in-process cluster.
-func NewLocal() *Local {
-	return &Local{handlers: make(map[SiteID]Handler), m: NewMetrics()}
+func NewLocal(opts ...Option) *Local {
+	o := applyOptions(opts)
+	return &Local{codec: o.codec, handlers: make(map[SiteID]Handler), m: NewMetrics()}
 }
 
 // AddSite registers the handler serving a site, replacing any previous
@@ -55,10 +58,16 @@ func (l *Local) Call(ctx context.Context, to SiteID, req any) (any, CallCost, er
 			return nil, CallCost{}, err
 		}
 	}
-	reqPayload, err := encodePayload(reqEnvelope{Req: req})
+	// Encode into one pooled buffer, reused for the response below: the
+	// handler receives the original value, the codec runs only to meter
+	// the bytes a TCP deployment would ship.
+	bp := getFrame()
+	defer putFrame(bp)
+	buf, err := l.codec.appendRequest((*bp)[:0], req)
 	if err != nil {
 		return nil, CallCost{}, err
 	}
+	reqBytes := int64(len(buf))
 	start := time.Now()
 	resp, herr := invokeHandler(h, req)
 	compute := takeCompute(resp, time.Since(start))
@@ -68,20 +77,21 @@ func (l *Local) Call(ctx context.Context, to SiteID, req any) (any, CallCost, er
 	} else {
 		env.Resp = resp
 	}
-	respPayload, err := encodePayload(env)
+	buf, err = l.codec.appendResponse(buf[:0], env)
 	if err != nil {
 		// Mirror the TCP server: an unencodable response travels back as
 		// an error envelope — the handler did run, so the visit and its
 		// computation are still metered.
 		herr = err
 		env = respEnvelope{Err: err.Error(), ComputeNanos: env.ComputeNanos}
-		if respPayload, err = encodePayload(env); err != nil {
+		if buf, err = l.codec.appendResponse(buf[:0], env); err != nil {
 			return nil, CallCost{}, err
 		}
 	}
+	*bp = buf
 	cost := CallCost{
-		Sent:    frameHeader + int64(len(reqPayload)),
-		Recv:    frameHeader + int64(len(respPayload)),
+		Sent:    frameHeader + reqBytes,
+		Recv:    frameHeader + int64(len(buf)),
 		Compute: compute,
 	}
 	l.m.Add(to, cost)

@@ -14,21 +14,24 @@ import (
 // connection. Handler errors (and panics) are propagated to the caller in
 // the response envelope; the connection stays usable.
 type TCPServer struct {
-	ln net.Listener
-	h  Handler
+	ln    net.Listener
+	h     Handler
+	codec Codec
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 }
 
-// NewTCPServer listens on addr (e.g. "127.0.0.1:0") and serves h.
-func NewTCPServer(addr string, h Handler) (*TCPServer, error) {
+// NewTCPServer listens on addr (e.g. "127.0.0.1:0") and serves h. The
+// codec (WithCodec) must match the dialing client's.
+func NewTCPServer(addr string, h Handler, opts ...Option) (*TCPServer, error) {
+	o := applyOptions(opts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen %s: %w", addr, err)
 	}
-	s := &TCPServer{ln: ln, h: h, conns: make(map[net.Conn]struct{})}
+	s := &TCPServer{ln: ln, h: h, codec: o.codec, conns: make(map[net.Conn]struct{})}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -95,13 +98,12 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return // client went away, or Close severed us
 		}
-		var req reqEnvelope
 		env := respEnvelope{}
-		if err := decodePayload(payload, &req); err != nil {
+		if req, err := s.codec.decodeRequest(payload); err != nil {
 			env.Err = err.Error()
 		} else {
 			start := time.Now()
-			resp, herr := invokeHandler(s.h, req.Req)
+			resp, herr := invokeHandler(s.h, req)
 			env.ComputeNanos = clampNanos(takeCompute(resp, time.Since(start)))
 			if herr != nil {
 				env.Err = herr.Error()
@@ -109,16 +111,25 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 				env.Resp = resp
 			}
 		}
-		out, err := encodePayload(env)
+		// Encode header and envelope into one pooled buffer; a single
+		// Write ships the whole frame.
+		bp, frame, err := encodeFrame(func(dst []byte) ([]byte, error) {
+			return s.codec.appendResponse(dst, env)
+		})
 		if err != nil {
 			// The handler produced an unencodable response; report that
 			// instead of dropping the connection.
-			out, err = encodePayload(respEnvelope{Err: err.Error(), ComputeNanos: env.ComputeNanos})
+			encErr := err.Error()
+			bp, frame, err = encodeFrame(func(dst []byte) ([]byte, error) {
+				return s.codec.appendResponse(dst, respEnvelope{Err: encErr, ComputeNanos: env.ComputeNanos})
+			})
 			if err != nil {
 				return
 			}
 		}
-		if _, err := writeFrame(conn, out); err != nil {
+		_, werr := conn.Write(frame)
+		putFrame(bp)
+		if werr != nil {
 			return
 		}
 	}
@@ -134,6 +145,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 // fresh dial; a connection that dies mid-call fails that call.
 type TCP struct {
 	addrs map[SiteID]string
+	codec Codec
 	m     *Metrics
 
 	mu     sync.Mutex
@@ -143,10 +155,13 @@ type TCP struct {
 }
 
 // NewTCP creates a client for a cluster of TCP sites. Connections are
-// dialed lazily on first use.
-func NewTCP(addrs map[SiteID]string) *TCP {
+// dialed lazily on first use. The codec (WithCodec) must match the
+// servers'.
+func NewTCP(addrs map[SiteID]string, opts ...Option) *TCP {
+	o := applyOptions(opts)
 	t := &TCP{
 		addrs:  make(map[SiteID]string, len(addrs)),
+		codec:  o.codec,
 		m:      NewMetrics(),
 		idle:   make(map[SiteID][]net.Conn),
 		active: make(map[net.Conn]struct{}),
@@ -269,10 +284,16 @@ func (t *TCP) dropConn(conn net.Conn) {
 // may hold a half-delivered frame), and the call fails with the context's
 // error.
 func (t *TCP) Call(ctx context.Context, to SiteID, req any) (any, CallCost, error) {
-	payload, err := encodePayload(reqEnvelope{Req: req})
+	// Header and envelope are laid out in one pooled buffer up front: the
+	// whole frame ships with a single Write and the steady-state encode
+	// path allocates nothing.
+	bp, frame, err := encodeFrame(func(dst []byte) ([]byte, error) {
+		return t.codec.appendRequest(dst, req)
+	})
 	if err != nil {
 		return nil, CallCost{}, err
 	}
+	defer putFrame(bp)
 	conn, err := t.getConn(ctx, to)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -283,7 +304,7 @@ func (t *TCP) Call(ctx context.Context, to SiteID, req any) (any, CallCost, erro
 	stop := context.AfterFunc(ctx, func() {
 		conn.SetDeadline(time.Unix(1, 0)) // the distant past: fail all I/O now
 	})
-	env, sent, recvd, err := roundTrip(conn, payload)
+	env, sent, recvd, err := roundTrip(conn, frame, t.codec)
 	canceled := !stop()
 	if err != nil {
 		t.dropConn(conn)
@@ -307,16 +328,17 @@ func (t *TCP) Call(ctx context.Context, to SiteID, req any) (any, CallCost, erro
 	return env.Resp, cost, nil
 }
 
-// roundTrip writes the request frame and reads the response frame.
-func roundTrip(conn net.Conn, payload []byte) (env respEnvelope, sent, recvd int64, err error) {
-	if sent, err = writeFrame(conn, payload); err != nil {
+// roundTrip writes one pre-framed request and reads the response frame.
+func roundTrip(conn net.Conn, frame []byte, c Codec) (env respEnvelope, sent, recvd int64, err error) {
+	if _, err = conn.Write(frame); err != nil {
 		return env, 0, 0, err
 	}
+	sent = int64(len(frame))
 	respPayload, recvd, err := readFrame(conn)
 	if err != nil {
 		return env, 0, 0, err
 	}
-	if err := decodePayload(respPayload, &env); err != nil {
+	if env, err = c.decodeResponse(respPayload); err != nil {
 		return env, 0, 0, err
 	}
 	return env, sent, recvd, nil

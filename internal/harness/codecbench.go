@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"paxq/internal/dist"
+	"paxq/internal/pax"
+	"paxq/internal/xmark"
+)
+
+// CodecBenchResult measures one (codec, simplify) variant of the serving
+// stack over the paper's query workload: wire bytes per query (both
+// directions, derived from the per-query cost ledger), end-to-end query
+// throughput, and the allocation profile of one evaluation.
+type CodecBenchResult struct {
+	Codec             string  `json:"codec"`
+	Simplify          bool    `json:"simplify"`
+	Queries           int     `json:"queries"`
+	BytesSentPerQuery float64 `json:"bytes_sent_per_query"`
+	BytesRecvPerQuery float64 `json:"bytes_recv_per_query"`
+	QueriesPerSec     float64 `json:"queries_per_sec"`
+	NsPerOp           int64   `json:"ns_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	AllocBytesPerOp   int64   `json:"alloc_bytes_per_op"`
+}
+
+// CodecBenchReport is the machine-readable codec baseline paxbench -exp
+// codec emits (BENCH_codec.json): the perf trajectory of the wire layer
+// across codecs and the simplification pass.
+type CodecBenchReport struct {
+	Scale     float64            `json:"scale"`
+	Fragments int                `json:"fragments"`
+	Sites     int                `json:"sites"`
+	Results   []CodecBenchResult `json:"results"`
+}
+
+func (r *CodecBenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Codec baseline (Local transport, %d fragments / %d sites, scale %g):\n",
+		r.Fragments, r.Sites, r.Scale)
+	fmt.Fprintf(&b, "  %-8s %-9s %14s %14s %12s %12s %10s\n",
+		"codec", "simplify", "sent B/query", "recv B/query", "queries/s", "ns/op", "allocs/op")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "  %-8s %-9v %14.1f %14.1f %12.1f %12d %10d\n",
+			res.Codec, res.Simplify, res.BytesSentPerQuery, res.BytesRecvPerQuery,
+			res.QueriesPerSec, res.NsPerOp, res.AllocsPerOp)
+	}
+	return b.String()
+}
+
+// CodecBench deploys the Experiment-1 fragmentation on in-process
+// clusters — one per (codec, simplify) variant — and measures the paper's
+// Q1–Q4 under PaX3 and PaX2. The Local transport runs every payload
+// through the real wire codec, so bytes/query match a TCP deployment
+// while throughput measures codec CPU, not loopback sockets.
+func CodecBench(cfg Config) (*CodecBenchReport, error) {
+	cfg = cfg.withDefaults()
+	cal := xmark.Calibrate()
+	ft, err := ft1(cfg, 4, cfg.paperMB(4), cal)
+	if err != nil {
+		return nil, err
+	}
+	numSites := (ft.Len() + 1) / 2
+	topo := pax.RoundRobin(ft, numSites)
+	report := &CodecBenchReport{Scale: cfg.Scale, Fragments: ft.Len(), Sites: len(topo.Sites())}
+
+	queries := []string{Q1, Q2, Q3, Q4}
+	variants := []struct {
+		codec    dist.Codec
+		simplify bool
+	}{
+		{dist.Binary, true},
+		{dist.Binary, false},
+		{dist.Gob, true},
+	}
+	for _, v := range variants {
+		local, _ := pax.BuildLocalCluster(topo,
+			pax.SiteParallelism(1), pax.ClusterCodec(v.codec), pax.SiteSimplify(v.simplify))
+		eng := pax.NewEngine(topo, local)
+		res := CodecBenchResult{Codec: v.codec.String(), Simplify: v.simplify}
+
+		// Bytes per query over the fixed workload, from per-query ledgers.
+		var sent, recv int64
+		for _, q := range queries {
+			for _, alg := range []pax.Algorithm{pax.PaX3, pax.PaX2} {
+				r, err := eng.Run(q, pax.Options{Algorithm: alg, Annotations: true})
+				if err != nil {
+					return nil, fmt.Errorf("harness: codec bench %s: %w", q, err)
+				}
+				sent += r.BytesSent
+				recv += r.BytesRecv
+				res.Queries++
+			}
+		}
+		res.BytesSentPerQuery = float64(sent) / float64(res.Queries)
+		res.BytesRecvPerQuery = float64(recv) / float64(res.Queries)
+
+		// Throughput and allocation profile of one evaluation.
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := eng.Run(q, pax.Options{Algorithm: pax.PaX2, Annotations: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res.NsPerOp = br.NsPerOp()
+		res.AllocsPerOp = br.AllocsPerOp()
+		res.AllocBytesPerOp = br.AllocedBytesPerOp()
+		if res.NsPerOp > 0 {
+			res.QueriesPerSec = 1e9 / float64(res.NsPerOp)
+		}
+		report.Results = append(report.Results, res)
+	}
+	return report, nil
+}

@@ -3,9 +3,11 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"paxq/internal/centeval"
+	"paxq/internal/dist"
 	"paxq/internal/fragment"
 	"paxq/internal/pax"
 	"paxq/internal/testutil"
@@ -47,6 +49,12 @@ type DiffOptions struct {
 	// sequential-site cluster of the same fragmentation and requires
 	// identical answers, visit counts and byte totals.
 	CompareParallel bool
+	// CompareCodecs additionally evaluates every case on a gob-codec twin
+	// and a simplification-disabled twin of the same cluster and requires
+	// identical answers and visit counts — plus the byte-bound sanity
+	// check that the binary codec with simplification never ships more
+	// than either twin.
+	CompareCodecs bool
 }
 
 // DiffResult aggregates the checks of one or more differential runs.
@@ -56,6 +64,7 @@ type DiffResult struct {
 	Mismatches     int // distributed answer != centralized answer
 	BoundExceeded  int // per-site visits above the algorithm's bound
 	ParallelDiffs  int // parallel vs sequential site evaluation disagreed
+	CodecDiffs     int // binary vs gob, or simplify vs raw, disagreed
 	MaxVisitsPaX3  int
 	MaxVisitsPaX2  int
 	FailureDetails []string // first few failures, for the test log
@@ -68,6 +77,7 @@ func (r *DiffResult) Merge(other *DiffResult) {
 	r.Mismatches += other.Mismatches
 	r.BoundExceeded += other.BoundExceeded
 	r.ParallelDiffs += other.ParallelDiffs
+	r.CodecDiffs += other.CodecDiffs
 	if other.MaxVisitsPaX3 > r.MaxVisitsPaX3 {
 		r.MaxVisitsPaX3 = other.MaxVisitsPaX3
 	}
@@ -81,12 +91,12 @@ func (r *DiffResult) Merge(other *DiffResult) {
 
 // Ok reports whether every check of every merged run held.
 func (r *DiffResult) Ok() bool {
-	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0
+	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0 && r.CodecDiffs == 0
 }
 
 func (r *DiffResult) String() string {
-	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences (max visits: PaX3 %d, PaX2 %d)",
-		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
+	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences, %d codec/simplify divergences (max visits: PaX3 %d, PaX2 %d)",
+		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.CodecDiffs, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
 }
 
 // xmarkLabels is the vocabulary random xmark-shaped queries draw from.
@@ -186,29 +196,61 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 	numSites := 1 + r.Intn(4)
 	topo := pax.RoundRobin(ft, numSites)
 
+	// buildEngine deploys one twin of the cluster on the chosen transport.
+	buildEngine := func(siteOpts ...pax.SiteOption) (*pax.Engine, func(), error) {
+		if opts.Transport == DiffTCP {
+			tcp, shutdown, err := pax.BuildTCPCluster(topo, siteOpts...)
+			if err != nil {
+				return nil, nil, err
+			}
+			return pax.NewEngine(topo, tcp), shutdown, nil
+		}
+		local, _ := pax.BuildLocalCluster(topo, siteOpts...)
+		return pax.NewEngine(topo, local), func() {}, nil
+	}
 	var eng, seqEng *pax.Engine
-	switch opts.Transport {
-	case DiffTCP:
-		tcp, shutdown, err := pax.BuildTCPCluster(topo, pax.SiteParallelism(4))
+	{
+		e, shutdown, err := buildEngine(pax.SiteParallelism(4))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
 		defer shutdown()
-		eng = pax.NewEngine(topo, tcp)
-		if opts.CompareParallel {
-			stcp, sshutdown, err := pax.BuildTCPCluster(topo, pax.SiteParallelism(1))
-			if err != nil {
-				return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
-			}
-			defer sshutdown()
-			seqEng = pax.NewEngine(topo, stcp)
+		eng = e
+	}
+	if opts.CompareParallel {
+		e, shutdown, err := buildEngine(pax.SiteParallelism(1))
+		if err != nil {
+			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
-	default:
-		local, _ := pax.BuildLocalCluster(topo, pax.SiteParallelism(4))
-		eng = pax.NewEngine(topo, local)
-		if opts.CompareParallel {
-			slocal, _ := pax.BuildLocalCluster(topo, pax.SiteParallelism(1))
-			seqEng = pax.NewEngine(topo, slocal)
+		defer shutdown()
+		seqEng = e
+	}
+	// Codec/simplify twins: same fragmentation and topology, differing
+	// only in wire codec or in the ship-time simplification pass. Answers
+	// and visit counts must be invariant across all of them.
+	type twin struct {
+		name string
+		eng  *pax.Engine
+		// bytesAtMost asserts the primary engine's byte totals never
+		// exceed this twin's (gob adds envelope overhead; disabling
+		// simplification can only grow formulas).
+		bytesAtMost bool
+	}
+	var twins []twin
+	if opts.CompareCodecs {
+		gobEng, shutdown, err := buildEngine(pax.SiteParallelism(4), pax.ClusterCodec(dist.Gob))
+		if err != nil {
+			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+		}
+		defer shutdown()
+		rawEng, rshutdown, err := buildEngine(pax.SiteParallelism(4), pax.SiteSimplify(false))
+		if err != nil {
+			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+		}
+		defer rshutdown()
+		twins = []twin{
+			{name: "gob codec", eng: gobEng, bytesAtMost: true},
+			{name: "no-simplify", eng: rawEng, bytesAtMost: true},
 		}
 	}
 
@@ -278,6 +320,26 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 							seed, opts.Transport, alg, ann, query,
 							got.MaxVisits, got.BytesSent, got.BytesRecv,
 							seq.MaxVisits, seq.BytesSent, seq.BytesRecv)
+					}
+				}
+				for _, tw := range twins {
+					tr, err := tw.eng.Run(query, popts)
+					if err != nil {
+						res.CodecDiffs++
+						fail("seed %d %s %v(XA=%v) %q: %s twin failed: %v", seed, opts.Transport, alg, ann, query, tw.name, err)
+						continue
+					}
+					if !slices.Equal(got.Answers, tr.Answers) || tr.MaxVisits != got.MaxVisits {
+						res.CodecDiffs++
+						fail("seed %d %s %v(XA=%v) %q: %s twin diverged (visits %d vs %d, %d vs %d answers)",
+							seed, opts.Transport, alg, ann, query, tw.name,
+							got.MaxVisits, tr.MaxVisits, len(got.Answers), len(tr.Answers))
+					}
+					if tw.bytesAtMost && (got.BytesSent > tr.BytesSent || got.BytesRecv > tr.BytesRecv) {
+						res.CodecDiffs++
+						fail("seed %d %s %v(XA=%v) %q: binary+simplify shipped %d/%d bytes, %s twin only %d/%d",
+							seed, opts.Transport, alg, ann, query,
+							got.BytesSent, got.BytesRecv, tw.name, tr.BytesSent, tr.BytesRecv)
 					}
 				}
 			}

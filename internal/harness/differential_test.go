@@ -23,13 +23,16 @@ func requireClean(t *testing.T, res *DiffResult) {
 // TestDifferentialLocalSeedCorpus is the tier-1 fixed corpus: 25 seeds × 5
 // queries × {PaX3, PaX2} × {NA, XA} against the centralized evaluator on
 // the in-process transport, with the per-site visit bound asserted for
-// every single evaluation and parallel site evaluation cross-checked
-// against sequential (answers, visit counts and byte totals must match
-// exactly).
+// every single evaluation, parallel site evaluation cross-checked against
+// sequential (answers, visit counts and byte totals must match exactly),
+// and every case replayed on gob-codec and simplification-disabled twins
+// (answers and visit counts must match exactly; bytes must not shrink
+// relative to the binary+simplify primary).
 func TestDifferentialLocalSeedCorpus(t *testing.T) {
 	res, err := DifferentialSweep(1, 25, DiffOptions{
 		Transport:       DiffLocal,
 		CompareParallel: true,
+		CompareCodecs:   true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -42,9 +45,10 @@ func TestDifferentialLocalSeedCorpus(t *testing.T) {
 
 // TestDifferentialTCPSeedCorpus runs the same fixed corpus over real TCP
 // sites on loopback: the full wire codec, connection pooling and
-// per-frame accounting are in the loop.
+// per-frame accounting are in the loop, with the gob and no-simplify
+// twins deployed as their own TCP clusters.
 func TestDifferentialTCPSeedCorpus(t *testing.T) {
-	res, err := DifferentialSweep(1, 25, DiffOptions{Transport: DiffTCP})
+	res, err := DifferentialSweep(1, 25, DiffOptions{Transport: DiffTCP, CompareCodecs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,13 +67,14 @@ func TestDifferentialExtendedSweep(t *testing.T) {
 	res, err := DifferentialSweep(1000, 100, DiffOptions{
 		Transport:       DiffLocal,
 		CompareParallel: true,
+		CompareCodecs:   true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	requireClean(t, res)
 
-	tcpRes, err := DifferentialSweep(2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true})
+	tcpRes, err := DifferentialSweep(2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,7 @@ type Site struct {
 	frags    map[fragment.FragID]*fragment.Fragment
 	compiled *lru[string, *xpath.Compiled]
 	par      int
+	simplify bool
 
 	mu       sync.Mutex
 	sessions map[QueryID]*session
@@ -84,6 +85,7 @@ func NewSite(id dist.SiteID, frags []*fragment.Fragment) *Site {
 		frags:    make(map[fragment.FragID]*fragment.Fragment, len(frags)),
 		compiled: newLRU[string, *xpath.Compiled](defaultSiteCompileCache),
 		par:      runtime.GOMAXPROCS(0),
+		simplify: true,
 		sessions: make(map[QueryID]*session),
 	}
 	for _, f := range frags {
@@ -100,6 +102,42 @@ func (s *Site) SetParallelism(n int) {
 		n = 1
 	}
 	s.par = n
+}
+
+// SetSimplify toggles the simplification pass applied to residual
+// formulas before they ship (on by default): constant folding, flattening
+// and cross-pointer dedup via interning — semantics-preserving, so
+// answers and visit counts are identical either way, but shipped bytes
+// shrink whenever formulas repeat sub-structure. Call before the site
+// starts serving.
+func (s *Site) SetSimplify(on bool) {
+	s.simplify = on
+}
+
+// shipSimplifier returns a fresh per-fragment Simplifier, or nil when the
+// pass is disabled. Each fragment's formulas get their own interner —
+// deterministic output independent of the site's scheduling mode.
+func (s *Site) shipSimplifier() *boolexpr.Simplifier {
+	if !s.simplify {
+		return nil
+	}
+	return boolexpr.NewSimplifier()
+}
+
+// shipVec encodes a formula vector for the wire, simplified when enabled.
+func shipVec(sim *boolexpr.Simplifier, fs []*boolexpr.Formula) WireVec {
+	if sim != nil {
+		fs = sim.Vec(fs)
+	}
+	return boolexpr.EncodeVec(fs)
+}
+
+// shipOne encodes a single formula for the wire, simplified when enabled.
+func shipOne(sim *boolexpr.Simplifier, f *boolexpr.Formula) []byte {
+	if sim != nil {
+		f = sim.Simplify(f)
+	}
+	return boolexpr.Encode(f)
 }
 
 // ID returns the site's identifier.
@@ -276,10 +314,14 @@ func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
 	outs, compute, parWall, err := evalFrags(sess, frags, func(fid fragment.FragID) (qualOut, error) {
 		f := s.frags[fid]
 		fq := parbox.EvalQualFragment(f, sess.c, sess.vs)
+		// One simplifier across the fragment's root vectors: QV and QDV
+		// entries share sub-structure heavily, so interning across the
+		// pair shrinks the shipped bytes the most.
+		sim := s.shipSimplifier()
 		rv := WireRootVecs{
 			Frag: fid,
-			QV:   boolexpr.EncodeVec(fq.Root.QV),
-			QDV:  boolexpr.EncodeVec(fq.Root.QDV),
+			QV:   shipVec(sim, fq.Root.QV),
+			QDV:  shipVec(sim, fq.Root.QDV),
 		}
 		// The root fragment also reports its root node's selection-entry
 		// qualifier values, enabling the one-visit ParBoX protocol for
@@ -291,7 +333,7 @@ func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
 				if fm == nil {
 					fm = boolexpr.True()
 				}
-				enc[i] = boolexpr.Encode(fm)
+				enc[i] = shipOne(sim, fm)
 			}
 			rv.RootSelQual = enc
 		}
@@ -389,8 +431,9 @@ func (s *Site) handleSel(req *SelStageReq) (*SelStageResp, error) {
 	resp := &SelStageResp{}
 	for i, fid := range req.Frags {
 		outc := outs[i]
+		sim := s.shipSimplifier()
 		for _, ctx := range outc.contexts {
-			resp.Contexts = append(resp.Contexts, WireContext{Frag: ctx.frag, SV: boolexpr.EncodeVec(ctx.sv)})
+			resp.Contexts = append(resp.Contexts, WireContext{Frag: ctx.frag, SV: shipVec(sim, ctx.sv)})
 		}
 		resp.Answers = append(resp.Answers, outc.answers...)
 		if len(outc.candidates) > 0 {
@@ -433,13 +476,14 @@ func (s *Site) handleCombined(req *CombinedStageReq) (*CombinedStageResp, error)
 	resp := &CombinedStageResp{}
 	for i, fid := range req.Frags {
 		outc := outs[i]
+		sim := s.shipSimplifier()
 		resp.Roots = append(resp.Roots, WireRootVecs{
 			Frag: fid,
-			QV:   boolexpr.EncodeVec(outc.roots.QV),
-			QDV:  boolexpr.EncodeVec(outc.roots.QDV),
+			QV:   shipVec(sim, outc.roots.QV),
+			QDV:  shipVec(sim, outc.roots.QDV),
 		})
 		for _, ctx := range outc.contexts {
-			resp.Contexts = append(resp.Contexts, WireContext{Frag: ctx.frag, SV: boolexpr.EncodeVec(ctx.sv)})
+			resp.Contexts = append(resp.Contexts, WireContext{Frag: ctx.frag, SV: shipVec(sim, ctx.sv)})
 		}
 		resp.Answers = append(resp.Answers, outc.answers...)
 		if len(outc.candidates) > 0 {

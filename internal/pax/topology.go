@@ -62,29 +62,66 @@ func (t *Topology) Sites() []dist.SiteID { return t.sites }
 // FragsAt returns the fragments hosted at a site, ascending.
 func (t *Topology) FragsAt(site dist.SiteID) []fragment.FragID { return t.fragsAt[site] }
 
-// SiteOption configures each Site a cluster builder constructs.
-type SiteOption func(*Site)
+// SiteOption configures the sites and the transport a cluster builder
+// constructs.
+type SiteOption func(*clusterConfig)
+
+type clusterConfig struct {
+	site  []func(*Site)
+	codec dist.Codec
+}
+
+func buildConfig(opts []SiteOption) clusterConfig {
+	var cfg clusterConfig // zero codec = dist.Binary, the default
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+func (c *clusterConfig) newSite(sid dist.SiteID, frags []*fragment.Fragment) *Site {
+	site := NewSite(sid, frags)
+	for _, o := range c.site {
+		o(site)
+	}
+	return site
+}
 
 // SiteParallelism bounds fragment-evaluation concurrency within each
 // site's stage requests (see Site.SetParallelism).
 func SiteParallelism(n int) SiteOption {
-	return func(s *Site) { s.SetParallelism(n) }
+	return func(c *clusterConfig) {
+		c.site = append(c.site, func(s *Site) { s.SetParallelism(n) })
+	}
+}
+
+// SiteSimplify toggles the formula simplification pass sites run before
+// shipping residual formulas (see Site.SetSimplify). On by default; tests
+// disable it to cross-check that simplification never changes an answer.
+func SiteSimplify(on bool) SiteOption {
+	return func(c *clusterConfig) {
+		c.site = append(c.site, func(s *Site) { s.SetSimplify(on) })
+	}
+}
+
+// ClusterCodec selects the wire codec for the cluster's transport —
+// dist.Binary by default, dist.Gob for differential cross-checks.
+func ClusterCodec(codec dist.Codec) SiteOption {
+	return func(c *clusterConfig) { c.codec = codec }
 }
 
 // BuildLocalCluster constructs the in-process cluster for a topology: one
 // Site per SiteID, registered on a fresh Local transport.
 func BuildLocalCluster(t *Topology, opts ...SiteOption) (*dist.Local, []*Site) {
-	local := dist.NewLocal()
+	cfg := buildConfig(opts)
+	local := dist.NewLocal(dist.WithCodec(cfg.codec))
 	var sites []*Site
 	for _, sid := range t.sites {
 		var frags []*fragment.Fragment
 		for _, fid := range t.fragsAt[sid] {
 			frags = append(frags, t.FT.Frag(fid))
 		}
-		site := NewSite(sid, frags)
-		for _, o := range opts {
-			o(site)
-		}
+		site := cfg.newSite(sid, frags)
 		local.AddSite(sid, site.Handler())
 		sites = append(sites, site)
 	}
@@ -94,6 +131,7 @@ func BuildLocalCluster(t *Topology, opts ...SiteOption) (*dist.Local, []*Site) {
 // BuildTCPCluster starts one TCP server per site on the loopback interface
 // and returns the connected transport plus a shutdown function.
 func BuildTCPCluster(t *Topology, opts ...SiteOption) (*dist.TCP, func(), error) {
+	cfg := buildConfig(opts)
 	addrs := make(map[dist.SiteID]string, len(t.sites))
 	var servers []*dist.TCPServer
 	shutdown := func() {
@@ -106,11 +144,8 @@ func BuildTCPCluster(t *Topology, opts ...SiteOption) (*dist.TCP, func(), error)
 		for _, fid := range t.fragsAt[sid] {
 			frags = append(frags, t.FT.Frag(fid))
 		}
-		site := NewSite(sid, frags)
-		for _, o := range opts {
-			o(site)
-		}
-		srv, err := dist.NewTCPServer("127.0.0.1:0", site.Handler())
+		site := cfg.newSite(sid, frags)
+		srv, err := dist.NewTCPServer("127.0.0.1:0", site.Handler(), dist.WithCodec(cfg.codec))
 		if err != nil {
 			shutdown()
 			return nil, nil, err
@@ -118,6 +153,6 @@ func BuildTCPCluster(t *Topology, opts ...SiteOption) (*dist.TCP, func(), error)
 		servers = append(servers, srv)
 		addrs[sid] = srv.Addr()
 	}
-	tcp := dist.NewTCP(addrs)
+	tcp := dist.NewTCP(addrs, dist.WithCodec(cfg.codec))
 	return tcp, func() { tcp.Close(); shutdown() }, nil
 }

@@ -1,0 +1,354 @@
+package pax
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"paxq/internal/boolexpr"
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+	"paxq/internal/testutil"
+	"paxq/internal/wirefmt"
+	"paxq/internal/xmltree"
+)
+
+// randFormulaBytes builds a small random formula's wire encoding.
+func randFormulaBytes(r *rand.Rand) []byte {
+	f := boolexpr.V(boolexpr.Var(1 + r.Intn(40)))
+	for i := 0; i < r.Intn(4); i++ {
+		g := boolexpr.V(boolexpr.Var(1 + r.Intn(40)))
+		if r.Intn(2) == 0 {
+			f = boolexpr.And(f, boolexpr.Not(g))
+		} else {
+			f = boolexpr.Or(f, g)
+		}
+	}
+	return boolexpr.Encode(f)
+}
+
+func randVec(r *rand.Rand, n int) WireVec {
+	v := make(WireVec, n)
+	for i := range v {
+		v[i] = randFormulaBytes(r)
+	}
+	return v
+}
+
+func randBools(r *rand.Rand, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.Intn(2) == 0
+	}
+	return out
+}
+
+// messageCorpus is a deterministic set of one-of-everything stage
+// messages: every field populated, plus the nil/empty edge shapes.
+func messageCorpus(seed int64) []any {
+	r := rand.New(rand.NewSource(seed))
+	boolVals := func(known bool) WireBoolVals {
+		v := WireBoolVals{Frag: fragment.FragID(r.Intn(9)), QV: randBools(r, 3), QDV: randBools(r, 3)}
+		if known {
+			v.Known = randBools(r, 3)
+		}
+		return v
+	}
+	answers := []AnswerNode{
+		{Frag: 1, Node: 42, Label: "person", Value: "Ada", XML: "<person>Ada</person>"},
+		{Frag: 0, Node: 7, Label: "name", Value: ""},
+	}
+	return []any{
+		&QualStageReq{QID: 7, Query: "//person[age > 30]/name", NumFrags: 5},
+		&QualStageResp{Roots: []WireRootVecs{
+			{Frag: 0, QV: randVec(r, 3), QDV: randVec(r, 3), RootSelQual: randVec(r, 2)},
+			{Frag: 3, QV: randVec(r, 1), QDV: randVec(r, 1)},
+		}},
+		&SelStageReq{
+			QID: 8, Query: "//a/b", NumFrags: 4,
+			Frags:        []fragment.FragID{0, 2, 3},
+			VirtualQuals: []WireBoolVals{boolVals(false), boolVals(true)},
+			Inits:        []WireInit{{Frag: 2, SV: randBools(r, 4)}},
+			ShipXML:      true,
+		},
+		&SelStageResp{
+			Contexts:   []WireContext{{Frag: 1, SV: randVec(r, 2)}},
+			Answers:    answers,
+			Candidates: []fragment.FragID{2},
+		},
+		&CombinedStageReq{QID: 9, Query: "//x", NumFrags: 3, Frags: []fragment.FragID{0}},
+		&CombinedStageResp{
+			Roots:    []WireRootVecs{{Frag: 0, QV: randVec(r, 2), QDV: randVec(r, 2)}},
+			Contexts: []WireContext{{Frag: 2, SV: randVec(r, 1)}},
+		},
+		&AnsStageReq{QID: 10, Inits: []WireInit{{Frag: 1, SV: randBools(r, 2)}}, Quals: []WireBoolVals{boolVals(true)}},
+		&AnsStageResp{Answers: answers},
+		&FetchReq{},
+		&FetchResp{Frags: []WireFragment{{
+			ID: 0,
+			Root: WireNode{Kind: 1, Label: "site", Children: []WireNode{
+				{Kind: 1, Label: "person", Children: []WireNode{{Kind: 3, Data: "Ada"}}},
+				{Kind: 1, Virtual: true, Frag: 2, Data: "v"},
+			}},
+		}}},
+	}
+}
+
+// TestBinaryRoundTripMatchesGob round-trips every corpus message through
+// both codecs and requires the decoded values to be deeply identical —
+// the codec-agreement smoke the check gate runs.
+func TestBinaryRoundTripMatchesGob(t *testing.T) {
+	for _, msg := range messageCorpus(1) {
+		for _, codec := range []dist.Codec{dist.Binary, dist.Gob} {
+			p, err := dist.EncodeRequest(codec, msg)
+			if err != nil {
+				t.Fatalf("%s encode %T: %v", codec, msg, err)
+			}
+			back, err := dist.DecodeRequest(codec, p)
+			if err != nil {
+				t.Fatalf("%s decode %T: %v", codec, msg, err)
+			}
+			if !reflect.DeepEqual(msg, back) {
+				t.Errorf("%s round trip of %T diverged:\n got %#v\nwant %#v", codec, msg, back, msg)
+			}
+		}
+		// Responses travel in response envelopes; cover that path too.
+		p, err := dist.EncodeResponse(dist.Binary, msg, "", 1)
+		if err != nil {
+			t.Fatalf("response encode %T: %v", msg, err)
+		}
+		back, herr, _, err := dist.DecodeResponse(dist.Binary, p)
+		if err != nil || herr != "" {
+			t.Fatalf("response decode %T: %v %q", msg, err, herr)
+		}
+		if !reflect.DeepEqual(msg, back) {
+			t.Errorf("response round trip of %T diverged", msg)
+		}
+	}
+}
+
+// TestBinarySmallerThanGob pins the tentpole claim on the corpus: the
+// hand-written codec ships at most half the bytes gob does, per message.
+func TestBinarySmallerThanGob(t *testing.T) {
+	var binTotal, gobTotal int
+	for _, msg := range messageCorpus(2) {
+		bin, err := dist.EncodeRequest(dist.Binary, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := dist.EncodeRequest(dist.Gob, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binTotal += len(bin)
+		gobTotal += len(g)
+		t.Logf("%-20T binary %4d bytes, gob %5d bytes", msg, len(bin), len(g))
+	}
+	if binTotal*2 > gobTotal {
+		t.Errorf("binary corpus = %d bytes, gob = %d; want >=2x reduction", binTotal, gobTotal)
+	}
+}
+
+// TestKnownMaskSurvivesRoundTrip pins the nil-vs-present distinction the
+// XA pruning protocol relies on (virtualEnv skips entries only when a
+// mask is present).
+func TestKnownMaskSurvivesRoundTrip(t *testing.T) {
+	msgs := []*AnsStageReq{
+		{QID: 1, Quals: []WireBoolVals{{Frag: 1, QV: []bool{true}, QDV: []bool{false}}}},
+		{QID: 1, Quals: []WireBoolVals{{Frag: 1, QV: []bool{true}, QDV: []bool{false}, Known: []bool{false}}}},
+	}
+	for _, m := range msgs {
+		p, err := dist.EncodeRequest(dist.Binary, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := dist.DecodeRequest(dist.Binary, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := back.(*AnsStageReq).Quals[0].Known
+		if (got == nil) != (m.Quals[0].Known == nil) {
+			t.Errorf("Known nil-ness flipped: sent %v, got %v", m.Quals[0].Known, got)
+		}
+	}
+}
+
+// TestTruncatedBodiesReturnTypedErrors chops every corpus message's
+// encoding at every length; each prefix must decode to a typed error (or,
+// rarely, an equal value is impossible since bodies self-delimit), never
+// panic, never silently succeed.
+func TestTruncatedBodiesReturnTypedErrors(t *testing.T) {
+	for _, msg := range messageCorpus(3) {
+		full, err := dist.EncodeRequest(dist.Binary, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(full); cut++ {
+			_, err := dist.DecodeRequest(dist.Binary, full[:cut])
+			if err == nil {
+				t.Fatalf("%T truncated to %d/%d bytes decoded successfully", msg, cut, len(full))
+			}
+			if !errors.Is(err, wirefmt.ErrTruncated) && !errors.Is(err, wirefmt.ErrMalformed) &&
+				!errors.Is(err, dist.ErrBadEnvelope) && !errors.Is(err, dist.ErrUnknownTag) {
+				t.Fatalf("%T truncated to %d bytes: untyped error %v", msg, cut, err)
+			}
+		}
+	}
+}
+
+// TestHostileCountDoesNotAmplify pins the decoder's allocation bound: a
+// frame announcing a huge element count backed by filler bytes must fail
+// with a typed error after allocating memory proportional to the bytes
+// received, not to the announced count (count() admits counts up to one
+// byte per element, but each decoded element is tens of bytes of struct).
+func TestHostileCountDoesNotAmplify(t *testing.T) {
+	// A QualStageResp body announcing 2^20 root-vector entries, backed by
+	// 2 MB of filler whose first element is malformed (a fragment ID
+	// overflowing int32). Pre-hardening this would eagerly allocate
+	// 2^20 * sizeof(WireRootVecs) ≈ 80 MB before reading a single
+	// element; now the eager capacity is capped and the first element's
+	// failure stops the loop.
+	body := wirefmt.AppendUvarint(nil, 1) // ComputeNanos
+	body = wirefmt.AppendUvarint(body, 1<<20)
+	body = append(body, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f) // fragID > MaxInt32
+	body = append(body, make([]byte, 2<<20)...)
+	payload := append([]byte{0x01, 0x01 /* ver, resp */}, 0, 0, 0, 0, 0, 0, 0, 1, 0x00 /* compute, ok */)
+	payload = wirefmt.AppendUvarint(payload, 2) // tag: QualStageResp
+	payload = append(payload, body...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, _, _, err := dist.DecodeResponse(dist.Binary, payload)
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("hostile count decoded successfully")
+	}
+	if !errors.Is(err, wirefmt.ErrTruncated) && !errors.Is(err, wirefmt.ErrMalformed) {
+		t.Errorf("untyped error: %v", err)
+	}
+	// Generous bound: a few multiples of the filler, never the ~50 MB the
+	// announced count would imply.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+		t.Errorf("decode of a 2 MB hostile frame allocated %d bytes", grew)
+	}
+}
+
+// TestSentinelIDsRoundTrip pins encode/decode agreement on the negative
+// sentinel IDs (fragment.NoFrag, xmltree.NoID — both -1): the encoder
+// ships them via uint32 truncation, so the decoder must accept the full
+// uint32 range, exactly as gob passes them through.
+func TestSentinelIDsRoundTrip(t *testing.T) {
+	m := &AnsStageResp{Answers: []AnswerNode{{Frag: fragment.NoFrag, Node: xmltree.NoID, Label: "x"}}}
+	p, err := dist.EncodeRequest(dist.Binary, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dist.DecodeRequest(dist.Binary, p)
+	if err != nil {
+		t.Fatalf("sentinel IDs failed to decode: %v", err)
+	}
+	if got := back.(*AnsStageResp).Answers[0]; got.Frag != fragment.NoFrag || got.Node != xmltree.NoID {
+		t.Errorf("sentinels round-tripped to Frag=%d Node=%d", got.Frag, got.Node)
+	}
+}
+
+// TestEmptyKnownMaskRoundTrips pins the zero-predicate edge: a query
+// whose qualifiers compile to zero path predicates makes the coordinator
+// build empty (non-nil) Known masks; they must encode as absent and
+// decode clean, not fail as "present but empty".
+func TestEmptyKnownMaskRoundTrips(t *testing.T) {
+	m := &AnsStageReq{QID: 5, Quals: []WireBoolVals{{Frag: 1, QV: []bool{}, QDV: []bool{}, Known: []bool{}}}}
+	p, err := dist.EncodeRequest(dist.Binary, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dist.DecodeRequest(dist.Binary, p)
+	if err != nil {
+		t.Fatalf("empty Known mask failed to decode: %v", err)
+	}
+	if got := back.(*AnsStageReq).Quals[0].Known; got != nil {
+		t.Errorf("empty Known decoded as %v, want nil (semantically identical: no entry is consulted)", got)
+	}
+}
+
+// TestSelfQualifierOverTCP is the end-to-end regression for the same
+// edge: self-only qualifiers ([. = "..."]) report HasQualifiers() with
+// zero path predicates, so every Quals entry ships an empty Known mask.
+// Such queries must evaluate over the TCP transport (which decodes every
+// message) exactly as over Local (which does not).
+func TestSelfQualifierOverTCP(t *testing.T) {
+	tr := testutil.PaperTree()
+	queries := []string{
+		`//broker[. = "x"]/name`,
+		`//code[. = "GOOG"]`,
+		`//stock[. != ""]/code`,
+	}
+	for seed := int64(11); seed < 14; seed++ {
+		ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 4, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := RoundRobin(ft, 2)
+		tcp, shutdown, err := BuildTCPCluster(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine(topo, tcp)
+		for _, query := range queries {
+			want := oracle(t, tr, query)
+			for _, alg := range []Algorithm{PaX3, PaX2} {
+				res, err := eng.Run(query, Options{Algorithm: alg})
+				if err != nil {
+					t.Errorf("seed %d %v %q over TCP: %v", seed, alg, query, err)
+					continue
+				}
+				if got := origIDs(ft, res.Answers); !testutil.EqualIDs(got, want) {
+					t.Errorf("seed %d %v %q: got %v want %v", seed, alg, query, got, want)
+				}
+			}
+		}
+		shutdown()
+	}
+}
+
+// BenchmarkEncodeStageRequest measures the hand-written encoder on a
+// realistic Stage-2 request against gob.
+func BenchmarkEncodeStageRequest(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	req := &SelStageReq{
+		QID: 99, Query: "//people/person[profile/age > 30]/name", NumFrags: 16,
+		Frags: []fragment.FragID{0, 1, 2, 3, 5, 8, 13},
+		VirtualQuals: []WireBoolVals{
+			{Frag: 1, QV: randBools(r, 4), QDV: randBools(r, 4)},
+			{Frag: 2, QV: randBools(r, 4), QDV: randBools(r, 4), Known: randBools(r, 4)},
+		},
+		Inits: []WireInit{{Frag: 3, SV: randBools(r, 6)}, {Frag: 5, SV: randBools(r, 6)}},
+	}
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = req.AppendBinary(buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(buf)))
+	})
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			p, err := dist.EncodeRequest(dist.Gob, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(p)
+		}
+		b.SetBytes(int64(n))
+	})
+}

@@ -1,0 +1,161 @@
+// Package wirefmt holds the primitive append/consume encoders shared by
+// the hand-written binary wire formats of internal/dist (envelopes) and
+// internal/pax (stage messages).
+//
+// Every encoder is append-style — it extends a caller-owned buffer and
+// returns the extended slice — so composite messages encode into one
+// pre-sized or pooled buffer without intermediate allocations. Every
+// decoder consumes a prefix of its input and returns the remainder;
+// malformed or short input yields an error wrapping ErrTruncated or
+// ErrMalformed, so corruption is distinguishable from transport failures
+// with errors.Is.
+//
+// Decoded byte slices alias the input buffer (zero copy); decoded strings
+// and bool slices are fresh. Callers that retain decoded []byte fields
+// must not recycle the buffer they decoded from — dist's frame reader
+// allocates a fresh buffer per frame for exactly this reason.
+package wirefmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrTruncated reports input that ended before the value it announced.
+var ErrTruncated = errors.New("wirefmt: truncated payload")
+
+// ErrMalformed reports input that is syntactically invalid (a broken
+// varint, a length that cannot fit the remaining input).
+var ErrMalformed = errors.New("wirefmt: malformed payload")
+
+// maxLen bounds any single announced element length. The transport caps
+// frames at 1 GiB, so any larger length is corruption announced by a few
+// bytes — reject it before a hostile varint can size an allocation.
+const maxLen = 1 << 30
+
+// UvarintLen returns the encoded size of v in bytes.
+func UvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// AppendUvarint appends the varint encoding of v.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// Uvarint consumes a varint from p.
+func Uvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		if len(p) == 0 || n == 0 {
+			return 0, nil, fmt.Errorf("%w: short varint", ErrTruncated)
+		}
+		return 0, nil, fmt.Errorf("%w: varint overflow", ErrMalformed)
+	}
+	return v, p[n:], nil
+}
+
+// AppendBool appends one byte, 0 or 1.
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// Bool consumes one boolean byte; any value other than 0 or 1 is
+// malformed (it would silently decode differently than it was encoded).
+func Bool(p []byte) (bool, []byte, error) {
+	if len(p) < 1 {
+		return false, nil, fmt.Errorf("%w: missing bool", ErrTruncated)
+	}
+	switch p[0] {
+	case 0:
+		return false, p[1:], nil
+	case 1:
+		return true, p[1:], nil
+	}
+	return false, nil, fmt.Errorf("%w: bool byte %d", ErrMalformed, p[0])
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// String consumes a length-prefixed string. The result is a fresh copy.
+func String(p []byte) (string, []byte, error) {
+	b, rest, err := Bytes(p)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(b), rest, nil
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// Bytes consumes a length-prefixed byte slice. The result aliases p.
+func Bytes(p []byte) ([]byte, []byte, error) {
+	n, rest, err := Uvarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxLen {
+		return nil, nil, fmt.Errorf("%w: %d-byte element", ErrMalformed, n)
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, fmt.Errorf("%w: %d bytes announced, %d available", ErrTruncated, n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// AppendBools appends a count-prefixed, bit-packed bool slice: 8 entries
+// per byte, low bit first.
+func AppendBools(dst []byte, bs []bool) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(bs)))
+	var cur byte
+	for i, b := range bs {
+		if b {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if len(bs)%8 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+// Bools consumes a count-prefixed bit-packed bool slice. A zero count
+// decodes as nil.
+func Bools(p []byte) ([]bool, []byte, error) {
+	n, rest, err := Uvarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	if n > maxLen {
+		return nil, nil, fmt.Errorf("%w: %d-entry bool vector", ErrMalformed, n)
+	}
+	nb := (int(n) + 7) / 8
+	if len(rest) < nb {
+		return nil, nil, fmt.Errorf("%w: %d-entry bool vector needs %d bytes, %d available", ErrTruncated, n, nb, len(rest))
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rest[i/8]&(1<<(i%8)) != 0
+	}
+	return out, rest[nb:], nil
+}

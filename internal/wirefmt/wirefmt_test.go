@@ -1,0 +1,72 @@
+package wirefmt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 300)
+	b = AppendBool(b, true)
+	b = AppendString(b, "hello")
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendBools(b, []bool{true, false, true, true, false, false, true, false, true})
+
+	v, rest, err := Uvarint(b)
+	if err != nil || v != 300 {
+		t.Fatalf("Uvarint = %d, %v", v, err)
+	}
+	bo, rest, err := Bool(rest)
+	if err != nil || !bo {
+		t.Fatalf("Bool = %v, %v", bo, err)
+	}
+	s, rest, err := String(rest)
+	if err != nil || s != "hello" {
+		t.Fatalf("String = %q, %v", s, err)
+	}
+	bs, rest, err := Bytes(rest)
+	if err != nil || !bytes.Equal(bs, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v, %v", bs, err)
+	}
+	bl, rest, err := Bools(rest)
+	if err != nil || len(bl) != 9 || !bl[0] || bl[1] || !bl[8] {
+		t.Fatalf("Bools = %v, %v", bl, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestNilVersusEmpty(t *testing.T) {
+	// Zero-count bool vectors decode as nil so message fields that
+	// distinguish "absent" keep their meaning through a round trip.
+	bl, _, err := Bools(AppendBools(nil, nil))
+	if err != nil || bl != nil {
+		t.Fatalf("Bools(empty) = %v, %v", bl, err)
+	}
+}
+
+func TestTruncationIsTyped(t *testing.T) {
+	cases := [][]byte{
+		{},                 // missing varint
+		{0x80},             // unterminated varint
+		{5, 'a'},           // bytes: 5 announced, 1 available
+		AppendUvarint(nil, 9), // bools: 9 entries, no bits
+	}
+	for _, p := range cases {
+		if _, _, err := Bytes(p); err != nil && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrMalformed) {
+			t.Errorf("Bytes(%v) error %v is not typed", p, err)
+		}
+	}
+	if _, _, err := Bools([]byte{9}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Bools truncated = %v, want ErrTruncated", err)
+	}
+	if _, _, err := Bool([]byte{7}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("Bool(7) = %v, want ErrMalformed", err)
+	}
+	if _, _, err := String([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x07}); !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrMalformed) {
+		t.Errorf("String(huge) error is not typed")
+	}
+}

@@ -152,6 +152,30 @@ const (
 	TransportTCP
 )
 
+// CodecKind selects the wire encoding between coordinator and sites.
+type CodecKind int
+
+// Codecs: the hand-written binary message format (default), or the legacy
+// reflection-driven gob envelopes kept as a differential cross-check.
+const (
+	CodecBinary CodecKind = iota
+	CodecGob
+)
+
+// ParseCodec maps a flag value ("binary" or "gob", case-insensitive) to
+// a CodecKind, delegating to the transport layer's parser so every
+// command accepts exactly the same spellings.
+func ParseCodec(s string) (CodecKind, error) {
+	c, err := dist.ParseCodec(s)
+	if err != nil {
+		return CodecBinary, fmt.Errorf("paxq: unknown codec %q (want binary or gob)", s)
+	}
+	if c == dist.Gob {
+		return CodecGob, nil
+	}
+	return CodecBinary, nil
+}
+
 // ClusterOptions configures fragmentation and deployment.
 type ClusterOptions struct {
 	// Fragments requests a random fragmentation with this many fragments
@@ -185,6 +209,14 @@ type ClusterOptions struct {
 	// Applies to in-process (TransportLocal) and loopback-TCP sites built
 	// by NewCluster.
 	SiteParallelism int
+	// Codec selects the wire encoding between coordinator and sites
+	// (default CodecBinary; CodecGob for differential cross-checks).
+	Codec CodecKind
+	// DisableSimplify turns off the formula simplification pass sites run
+	// before shipping residual formulas. Answers are identical either
+	// way; disabling it trades bytes on the wire for a little site CPU,
+	// and exists mainly so tests can cross-check the pass.
+	DisableSimplify bool
 }
 
 // Cluster is a fragmented, distributed document plus a coordinator. It is
@@ -237,6 +269,12 @@ func NewCluster(doc *Document, opts ClusterOptions) (*Cluster, error) {
 	var siteOpts []pax.SiteOption
 	if opts.SiteParallelism > 0 {
 		siteOpts = append(siteOpts, pax.SiteParallelism(opts.SiteParallelism))
+	}
+	if opts.Codec == CodecGob {
+		siteOpts = append(siteOpts, pax.ClusterCodec(dist.Gob))
+	}
+	if opts.DisableSimplify {
+		siteOpts = append(siteOpts, pax.SiteSimplify(false))
 	}
 	engOpts := []pax.EngineOption{
 		pax.WithMaxInFlight(opts.MaxInFlight),
