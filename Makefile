@@ -8,14 +8,14 @@ COVER_MIN ?= 85
 # Per-target budget of the fuzz smoke in the check gate.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke bench
+.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke docs-check bench
 
 # The tier-1 verification gate: everything must compile, vet clean, pass,
 # stay race-free under the concurrent serving load tests, hold the
 # coverage floor on the core packages, survive a short fuzz smoke of the
-# parser and the wire codec, and prove the binary codec agrees with gob
-# on the fixed message corpus.
-check: build vet test test-race cover codec-smoke fuzz-smoke
+# parser and the wire codec, prove the binary codec agrees with gob on
+# the fixed message corpus, and keep the documentation honest.
+check: build vet test test-race cover codec-smoke fuzz-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,14 @@ fuzz-smoke:
 codec-smoke:
 	$(GO) test -run='TestBinaryRoundTripMatchesGob|TestBinarySmallerThanGob' ./internal/pax
 	$(GO) test -run='TestCodecRoundTripAdvantage|TestCodecsShipIdenticalSemantics|TestFrameWritePathAllocs' ./internal/dist
+
+# Documentation gate: vet plus tools/docscheck, which fails on exported
+# identifiers of the public paxq package missing doc comments, on cmd/*
+# flags absent from cmd/README.md / ARCHITECTURE.md, and on internal/cmd
+# packages missing from ARCHITECTURE.md's package map. Depends on the vet
+# target (rather than re-running go vet) so `make check` vets once.
+docs-check: vet
+	$(GO) run ./tools/docscheck
 
 # Codec / encode / simplify microbenchmarks with allocation profiles —
 # the numbers behind BENCH_codec.json — then a one-iteration smoke of

@@ -22,6 +22,12 @@
 //	paxbench -exp codec -json BENCH_codec.json
 //	paxbench -exp diff -load 10 -json BENCH_diff.json
 //
+// The cache mode benchmarks the site-side Stage-1 memoization cache:
+// repeated qualified queries over a TCP deployment, with and without the
+// cache, reporting queries/sec and the hit/saved-compute counters:
+//
+//	paxbench -exp cache -json BENCH_cache.json
+//
 // -scale is the dataset size relative to the paper's 100 MB baseline
 // (0.05 → 5 MB cumulative).
 package main
@@ -37,7 +43,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, concurrent, codec or all")
+	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, concurrent, codec, cache or all")
 	scale := flag.Float64("scale", 0.02, "data scale relative to the paper's 100MB baseline")
 	runs := flag.Int("runs", 3, "runs per data point (median reported)")
 	steps := flag.Int("steps", 10, "experiment 2/3 iterations")
@@ -129,8 +135,9 @@ func main() {
 	runDiff := func() {
 		// Differential mode: distributed vs centralized on random (tree,
 		// query, fragmentation) instances, over both transports, with
-		// parallel-vs-sequential site evaluation and both codec twins
-		// (gob, simplification disabled) cross-checked.
+		// parallel-vs-sequential site evaluation, both codec twins (gob,
+		// simplification disabled) and the cached-vs-uncached site-cache
+		// twins cross-checked.
 		type diffOut struct {
 			Transport string              `json:"transport"`
 			Result    *harness.DiffResult `json:"result"`
@@ -141,6 +148,7 @@ func main() {
 				Transport:       tr,
 				CompareParallel: true,
 				CompareCodecs:   true,
+				CompareCache:    true,
 			})
 			if res != nil {
 				fmt.Printf("%s %s\n", tr, res)
@@ -160,6 +168,14 @@ func main() {
 	}
 	runCodec := func() {
 		rep, err := harness.CodecBench(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+		writeJSON(rep)
+	}
+	runCache := func() {
+		rep, err := harness.CacheBench(cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -194,6 +210,8 @@ func main() {
 		runDiff()
 	case "codec":
 		runCodec()
+	case "cache":
+		runCache()
 	case "t2":
 		runT2()
 	case "queries":

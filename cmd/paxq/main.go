@@ -35,7 +35,7 @@ func main() {
 	manifest := flag.String("manifest", "", "manifest.json for remote mode")
 	var sitesFlags multiFlag
 	flag.Var(&sitesFlags, "site", "remote mode: 'fragIDs=host:port' mapping (repeatable)")
-	query := flag.String("query", "", "XPath query (required)")
+	query := flag.String("query", "", "XPath query (required unless -repl)")
 	algo := flag.String("algo", "pax2", "algorithm: pax2, pax3 or naive")
 	xa := flag.Bool("xa", true, "use XPath annotations (§5 optimization)")
 	stats := flag.Bool("stats", false, "print the evaluation cost profile")

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"paxq"
+)
+
+// cacheTestServer is testServer with the Stage-1 site cache enabled.
+func cacheTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	doc, err := paxq.ParseDocumentString(brokerDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := paxq.NewCluster(doc, paxq.ClusterOptions{
+		CutPaths:      []string{"//broker"},
+		Sites:         2,
+		SiteCacheSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	ts := httptest.NewServer(newServer(cluster, 0).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestServeSiteCacheCounters drives a repeated qualified query through the
+// HTTP layer and checks the cache counters surface in both /metrics
+// (Prometheus text) and /statsz (JSON), with answers stable across the
+// miss and hit paths.
+func TestServeSiteCacheCounters(t *testing.T) {
+	ts := cacheTestServer(t)
+	query := `//broker[//stock/code = "GOOG"]/name`
+	body, _ := json.Marshal(queryRequest{Query: query, Algorithm: "pax3"})
+	var first []paxq.Answer
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr := decodeQueryResponse(t, resp)
+		if len(qr.Answers) != 1 || qr.Answers[0].Value != "Smith" {
+			t.Fatalf("run %d: answers = %+v", i, qr.Answers)
+		}
+		if i == 0 {
+			first = qr.Answers
+		} else if qr.Answers[0] != first[0] {
+			t.Fatalf("run %d: cached answer diverged: %+v vs %+v", i, qr.Answers[0], first[0])
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	text := string(metrics)
+	for _, name := range []string{
+		"paxserve_sitecache_hits_total",
+		"paxserve_sitecache_misses_total",
+		"paxserve_sitecache_evictions_total",
+		"paxserve_sitecache_expirations_total",
+		"paxserve_sitecache_invalidations_total",
+		"paxserve_sitecache_saved_compute_seconds_total",
+		"paxserve_sitecache_entries",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if strings.Contains(text, "paxserve_sitecache_hits_total 0\n") {
+		t.Error("/metrics reports zero cache hits after repeated queries")
+	}
+
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var statsz struct {
+		SiteCache struct {
+			Hits    int64 `json:"hits"`
+			Misses  int64 `json:"misses"`
+			Entries int   `json:"entries"`
+		} `json:"sitecache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statsz); err != nil {
+		t.Fatal(err)
+	}
+	if statsz.SiteCache.Hits == 0 || statsz.SiteCache.Misses == 0 || statsz.SiteCache.Entries == 0 {
+		t.Fatalf("/statsz sitecache = %+v; want non-zero hits, misses and entries", statsz.SiteCache)
+	}
+}

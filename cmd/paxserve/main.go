@@ -28,11 +28,15 @@
 //   - -request-timeout bounds each evaluation end to end; a deadline hit
 //     returns HTTP 504. The deadline travels as a context down to the
 //     site transport, so a hung site cannot wedge an HTTP worker.
+//   - -cache-size equips every site with a Stage-1 memoization cache:
+//     repeated queries answer their qualifier stage from cache with zero
+//     tree traversal (hit/miss/eviction counters appear in /metrics and
+//     /statsz); -cache-ttl bounds entry lifetime.
 //   - SIGINT/SIGTERM trigger graceful shutdown: the listener stops, then
 //     in-flight requests get up to -shutdown-grace to finish before the
 //     cluster is torn down.
-//   - /metrics exposes serving and transport lifetime counters in the
-//     Prometheus text format.
+//   - /metrics exposes serving, transport and site-cache lifetime counters
+//     in the Prometheus text format.
 package main
 
 import (
@@ -69,6 +73,8 @@ func main() {
 	siteParallel := flag.Int("site-parallelism", 0, "per-site fragment evaluation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	codecName := flag.String("codec", "binary", "wire codec between coordinator and sites: binary or gob")
 	noSimplify := flag.Bool("no-simplify", false, "disable the residual-formula simplification pass at sites")
+	cacheSize := flag.Int("cache-size", 0, "per-site Stage-1 memoization cache entries (0 = disabled)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "lifetime of memoized Stage-1 results (0 = until evicted)")
 	flag.Parse()
 
 	codec, err := paxq.ParseCodec(*codecName)
@@ -112,6 +118,8 @@ func main() {
 		SiteParallelism:  *siteParallel,
 		Codec:            codec,
 		DisableSimplify:  *noSimplify,
+		SiteCacheSize:    *cacheSize,
+		SiteCacheTTL:     *cacheTTL,
 	})
 	if err != nil {
 		fatal(err)

@@ -174,6 +174,7 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if secs := uptime.Seconds(); secs > 0 {
 		qps = float64(queries) / secs
 	}
+	cache := s.cluster.TransportStats().SiteCache
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":         queries,
 		"errors":          s.errors.Load(),
@@ -181,6 +182,16 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		"timeouts":        s.timeouts.Load(),
 		"uptime_seconds":  uptime.Seconds(),
 		"queries_per_sec": qps,
+		"sitecache": map[string]any{
+			"hits":                  cache.Hits,
+			"misses":                cache.Misses,
+			"evictions":             cache.Evictions,
+			"expirations":           cache.Expirations,
+			"invalidations":         cache.Invalidations,
+			"entries":               cache.Entries,
+			"generation":            cache.Generation,
+			"saved_compute_seconds": cache.SavedCompute.Seconds(),
+		},
 	})
 }
 
@@ -201,6 +212,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("paxserve_transport_received_bytes_total", "Bytes received from sites.", ts.BytesReceived)
 	counter("paxserve_transport_site_visits_total", "Site calls completed.", ts.TotalVisits)
 	counter("paxserve_transport_compute_seconds_total", "Summed site computation time.", ts.TotalCompute.Seconds())
+	counter("paxserve_sitecache_hits_total", "Stage-1 cache hits across sites.", ts.SiteCache.Hits)
+	counter("paxserve_sitecache_misses_total", "Stage-1 cache misses across sites.", ts.SiteCache.Misses)
+	counter("paxserve_sitecache_evictions_total", "Stage-1 cache entries displaced by capacity.", ts.SiteCache.Evictions)
+	counter("paxserve_sitecache_expirations_total", "Stage-1 cache entries dropped by TTL.", ts.SiteCache.Expirations)
+	counter("paxserve_sitecache_invalidations_total", "Stage-1 cache entries dropped by generation bumps.", ts.SiteCache.Invalidations)
+	counter("paxserve_sitecache_saved_compute_seconds_total", "Site computation avoided by cache hits.", ts.SiteCache.SavedCompute.Seconds())
+	fmt.Fprintf(&b, "# HELP paxserve_sitecache_entries Live Stage-1 cache entries across sites.\n# TYPE paxserve_sitecache_entries gauge\npaxserve_sitecache_entries %d\n",
+		ts.SiteCache.Entries)
 	fmt.Fprintf(&b, "# HELP paxserve_uptime_seconds Seconds since start.\n# TYPE paxserve_uptime_seconds gauge\npaxserve_uptime_seconds %f\n",
 		time.Since(s.started).Seconds())
 	for site, visits := range ts.SiteVisits {

@@ -6,6 +6,11 @@
 // Usage (serve fragments 1 and 3 of a saved fragmentation):
 //
 //	paxsite -dir frags/ -frags 1,3 -listen 127.0.0.1:7001
+//
+// -cache-size enables Stage-1 (qualifier pass) memoization: repeated
+// queries are answered from cache with zero tree traversal. Fragments
+// loaded from -dir are immutable for the process lifetime, so entries
+// only ever leave the cache by eviction or -cache-ttl expiry.
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 	siteID := flag.Int("site", 0, "site identifier (informational)")
 	codecName := flag.String("codec", "binary", "wire codec: binary or gob (must match the coordinator)")
 	noSimplify := flag.Bool("no-simplify", false, "disable the residual-formula simplification pass")
+	cacheSize := flag.Int("cache-size", 0, "Stage-1 memoization cache entries (0 = disabled)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "lifetime of memoized Stage-1 results (0 = until evicted)")
 	flag.Parse()
 
 	codec, err := dist.ParseCodec(*codecName)
@@ -69,6 +76,9 @@ func main() {
 	}
 	site := pax.NewSite(dist.SiteID(*siteID), frags)
 	site.SetSimplify(!*noSimplify)
+	if *cacheSize > 0 {
+		site.EnableCache(*cacheSize, *cacheTTL)
+	}
 	srv, err := dist.NewTCPServer(*listen, site.Handler(), dist.WithCodec(codec))
 	if err != nil {
 		fatal(err)

@@ -1,20 +1,5 @@
-// Package boolexpr implements the Boolean-formula engine that underpins
-// partial evaluation in paxq.
-//
-// During distributed query evaluation each site evaluates the whole query
-// over its local fragments. Wherever a value depends on data held by another
-// fragment, the site emits a fresh Boolean variable instead of a constant.
-// The resulting "partial answers" are formulas over such variables — the
-// residual functions of partial evaluation. The coordinator later unifies
-// variables with the values reported by other fragments, collapsing every
-// formula to a constant.
-//
-// Formulas are immutable DAGs built through smart constructors that perform
-// constant folding, flattening, deduplication and involution elimination, so
-// a formula never contains a redundant True/False leaf, a nested conjunction
-// inside a conjunction, or a double negation. This keeps residual functions
-// small: their size is bounded by the number of distinct variables they
-// mention, which in paxq is bounded by |Q| per virtual node.
+// Formula representation and smart constructors; package docs in doc.go.
+
 package boolexpr
 
 import (

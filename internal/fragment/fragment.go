@@ -1,14 +1,5 @@
-// Package fragment implements the fragmentation model of §2.1: an XML tree
-// is decomposed into disjoint subtrees (fragments), each possibly stored at
-// a different site. A fragment that has sub-fragments contains one virtual
-// node per sub-fragment, standing in for the missing subtree. The induced
-// fragment tree FT records the parent/child relation between fragments and
-// optionally carries the XPath annotations of §5: the label path connecting
-// a fragment's root to each sub-fragment's root.
-//
-// No constraints are imposed on the fragmentation: fragments may nest
-// arbitrarily, appear at any depth and have any size — the "most generic
-// possible" setting of the paper.
+// Fragmentation model and cutting strategies; package docs in doc.go.
+
 package fragment
 
 import (

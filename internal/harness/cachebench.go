@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"paxq/internal/pax"
+	"paxq/internal/sitecache"
+	"paxq/internal/xmark"
+)
+
+// CacheBenchResult measures one variant (site cache on or off) of the
+// serving stack over a repeated-query workload on the TCP transport.
+type CacheBenchResult struct {
+	Cached        bool    `json:"cached"`
+	Queries       int     `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	// Cache counters (zero for the uncached variant).
+	Hits           int64   `json:"cache_hits"`
+	Misses         int64   `json:"cache_misses"`
+	SavedComputeMs float64 `json:"saved_compute_ms"`
+}
+
+// CacheBenchReport is the machine-readable baseline paxbench -exp cache
+// emits (BENCH_cache.json): steady-state repeated-query throughput over
+// real TCP sites with and without Stage-1 memoization, and the speedup the
+// cache buys.
+type CacheBenchReport struct {
+	Scale     float64            `json:"scale"`
+	Fragments int                `json:"fragments"`
+	Sites     int                `json:"sites"`
+	Transport string             `json:"transport"`
+	Results   []CacheBenchResult `json:"results"`
+	Speedup   float64            `json:"speedup"`
+}
+
+func (r *CacheBenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Site-cache baseline (TCP transport, %d fragments / %d sites, scale %g):\n",
+		r.Fragments, r.Sites, r.Scale)
+	fmt.Fprintf(&b, "  %-8s %12s %12s %12s %12s %16s\n",
+		"cache", "queries/s", "ns/op", "hits", "misses", "saved compute")
+	for _, res := range r.Results {
+		state := "off"
+		if res.Cached {
+			state = "on"
+		}
+		fmt.Fprintf(&b, "  %-8s %12.1f %12d %12d %12d %14.1fms\n",
+			state, res.QueriesPerSec, res.NsPerOp, res.Hits, res.Misses, res.SavedComputeMs)
+	}
+	fmt.Fprintf(&b, "  repeated-query speedup: %.2fx\n", r.Speedup)
+	return b.String()
+}
+
+// CacheBench deploys the Experiment-1 fragmentation twice over real TCP
+// sites on loopback — once without and once with the Stage-1 memoization
+// cache — and drives both with the paper's qualified queries (Q3, Q4)
+// repeated under PaX3: the steady-state shape of a serving workload, where
+// the same hot queries arrive over and over. Before timing, the cached
+// variant's answers are compared against the uncached variant's on both a
+// cold and a warm pass; throughput then measures what memoizing the
+// qualifier pass is worth end to end (the cached variant answers Stage 1
+// with zero tree traversal on every repetition).
+func CacheBench(cfg Config) (*CacheBenchReport, error) {
+	cfg = cfg.withDefaults()
+	cal := xmark.Calibrate()
+	ft, err := ft1(cfg, 4, cfg.paperMB(4), cal)
+	if err != nil {
+		return nil, err
+	}
+	numSites := (ft.Len() + 1) / 2
+	topo := pax.RoundRobin(ft, numSites)
+	report := &CacheBenchReport{Scale: cfg.Scale, Fragments: ft.Len(), Sites: len(topo.Sites()), Transport: "tcp"}
+
+	queries := []string{Q3, Q4} // qualified: PaX3 runs a memoizable Stage 1
+	// wantAnswers holds the uncached variant's answers per query; the
+	// cached variant's warm-up (both its miss and its hit pass) must
+	// reproduce them exactly before anything is timed.
+	wantAnswers := make(map[string][]pax.AnswerNode, len(queries))
+	for _, cached := range []bool{false, true} {
+		var siteOpts []pax.SiteOption
+		if cached {
+			siteOpts = append(siteOpts, pax.WithSiteCache(32))
+		}
+		tcp, sites, shutdown, err := pax.BuildTCPCluster(topo, siteOpts...)
+		if err != nil {
+			return nil, err
+		}
+		eng := pax.NewEngine(topo, tcp)
+		res := CacheBenchResult{Cached: cached}
+
+		// Warm-up and correctness gate: the cached variant must reproduce
+		// the uncached variant's answers exactly — on its cold (miss) pass
+		// AND on a second (hit) pass — before anything is timed, so a
+		// cache bug can never masquerade as a speedup in the baseline. The
+		// second pass also leaves the caches warm.
+		for pass := 0; pass < 2; pass++ {
+			for _, q := range queries {
+				r, err := eng.Run(q, pax.Options{Algorithm: pax.PaX3, Annotations: true})
+				if err != nil {
+					shutdown()
+					return nil, fmt.Errorf("harness: cache bench %s: %w", q, err)
+				}
+				if !cached {
+					wantAnswers[q] = r.Answers
+				} else if !slices.Equal(r.Answers, wantAnswers[q]) {
+					shutdown()
+					return nil, fmt.Errorf("harness: cache bench %s: cached variant diverged on warm-up pass %d (%d vs %d answers)",
+						q, pass, len(r.Answers), len(wantAnswers[q]))
+				}
+			}
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := eng.Run(q, pax.Options{Algorithm: pax.PaX3, Annotations: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res.Queries = br.N
+		res.NsPerOp = br.NsPerOp()
+		if res.NsPerOp > 0 {
+			res.QueriesPerSec = 1e9 / float64(res.NsPerOp)
+		}
+		var agg sitecache.Stats
+		for _, s := range sites {
+			agg.Merge(s.CacheStats())
+		}
+		res.Hits = agg.Hits
+		res.Misses = agg.Misses
+		res.SavedComputeMs = float64(agg.SavedCompute) / float64(time.Millisecond)
+		shutdown()
+		report.Results = append(report.Results, res)
+	}
+	if len(report.Results) == 2 && report.Results[0].QueriesPerSec > 0 {
+		report.Speedup = report.Results[1].QueriesPerSec / report.Results[0].QueriesPerSec
+	}
+	return report, nil
+}

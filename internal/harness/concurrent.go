@@ -72,7 +72,7 @@ func ConcurrentLoadParallelism(cfg Config, workers, perWorker, siteParallelism i
 	if siteParallelism > 0 {
 		siteOpts = append(siteOpts, pax.SiteParallelism(siteParallelism))
 	}
-	tcp, shutdown, err := pax.BuildTCPCluster(topo, siteOpts...)
+	tcp, _, shutdown, err := pax.BuildTCPCluster(topo, siteOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -55,6 +55,16 @@ type DiffOptions struct {
 	// check that the binary codec with simplification never ships more
 	// than either twin.
 	CompareCodecs bool
+	// CompareCache additionally evaluates every case on two site-cache
+	// twins of the same cluster — one with a comfortably sized Stage-1
+	// cache (evaluated twice per case: a miss-then-hit schedule) and one
+	// with a single-entry cache (eviction pressure on every query switch)
+	// — and requires answers, visit counts AND byte totals identical to
+	// the uncached primary. After the per-query loop every query is
+	// replayed once more on the warm twin (an interleaved-query schedule:
+	// by then other queries have run, so replays mix hits and re-misses)
+	// against a fresh uncached evaluation.
+	CompareCache bool
 }
 
 // DiffResult aggregates the checks of one or more differential runs.
@@ -65,6 +75,9 @@ type DiffResult struct {
 	BoundExceeded  int // per-site visits above the algorithm's bound
 	ParallelDiffs  int // parallel vs sequential site evaluation disagreed
 	CodecDiffs     int // binary vs gob, or simplify vs raw, disagreed
+	CacheCases     int // cached-twin evaluations compared against uncached
+	CacheDiffs     int // cached vs uncached disagreed (answers/visits/bytes)
+	CacheHits      int // Stage-1 cache hits observed across cached twins
 	MaxVisitsPaX3  int
 	MaxVisitsPaX2  int
 	FailureDetails []string // first few failures, for the test log
@@ -78,6 +91,9 @@ func (r *DiffResult) Merge(other *DiffResult) {
 	r.BoundExceeded += other.BoundExceeded
 	r.ParallelDiffs += other.ParallelDiffs
 	r.CodecDiffs += other.CodecDiffs
+	r.CacheCases += other.CacheCases
+	r.CacheDiffs += other.CacheDiffs
+	r.CacheHits += other.CacheHits
 	if other.MaxVisitsPaX3 > r.MaxVisitsPaX3 {
 		r.MaxVisitsPaX3 = other.MaxVisitsPaX3
 	}
@@ -91,12 +107,12 @@ func (r *DiffResult) Merge(other *DiffResult) {
 
 // Ok reports whether every check of every merged run held.
 func (r *DiffResult) Ok() bool {
-	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0 && r.CodecDiffs == 0
+	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0 && r.CodecDiffs == 0 && r.CacheDiffs == 0
 }
 
 func (r *DiffResult) String() string {
-	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences, %d codec/simplify divergences (max visits: PaX3 %d, PaX2 %d)",
-		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.CodecDiffs, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
+	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences, %d codec/simplify divergences, %d/%d cached-twin divergences (%d cache hits; max visits: PaX3 %d, PaX2 %d)",
+		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.CodecDiffs, r.CacheDiffs, r.CacheCases, r.CacheHits, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
 }
 
 // xmarkLabels is the vocabulary random xmark-shaped queries draw from.
@@ -196,21 +212,22 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 	numSites := 1 + r.Intn(4)
 	topo := pax.RoundRobin(ft, numSites)
 
-	// buildEngine deploys one twin of the cluster on the chosen transport.
-	buildEngine := func(siteOpts ...pax.SiteOption) (*pax.Engine, func(), error) {
+	// buildEngine deploys one twin of the cluster on the chosen transport,
+	// returning the in-process sites for cache-counter inspection.
+	buildEngine := func(siteOpts ...pax.SiteOption) (*pax.Engine, []*pax.Site, func(), error) {
 		if opts.Transport == DiffTCP {
-			tcp, shutdown, err := pax.BuildTCPCluster(topo, siteOpts...)
+			tcp, sites, shutdown, err := pax.BuildTCPCluster(topo, siteOpts...)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
-			return pax.NewEngine(topo, tcp), shutdown, nil
+			return pax.NewEngine(topo, tcp), sites, shutdown, nil
 		}
-		local, _ := pax.BuildLocalCluster(topo, siteOpts...)
-		return pax.NewEngine(topo, local), func() {}, nil
+		local, sites := pax.BuildLocalCluster(topo, siteOpts...)
+		return pax.NewEngine(topo, local), sites, func() {}, nil
 	}
 	var eng, seqEng *pax.Engine
 	{
-		e, shutdown, err := buildEngine(pax.SiteParallelism(4))
+		e, _, shutdown, err := buildEngine(pax.SiteParallelism(4))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
@@ -218,7 +235,7 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 		eng = e
 	}
 	if opts.CompareParallel {
-		e, shutdown, err := buildEngine(pax.SiteParallelism(1))
+		e, _, shutdown, err := buildEngine(pax.SiteParallelism(1))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
@@ -238,12 +255,12 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 	}
 	var twins []twin
 	if opts.CompareCodecs {
-		gobEng, shutdown, err := buildEngine(pax.SiteParallelism(4), pax.ClusterCodec(dist.Gob))
+		gobEng, _, shutdown, err := buildEngine(pax.SiteParallelism(4), pax.ClusterCodec(dist.Gob))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
 		defer shutdown()
-		rawEng, rshutdown, err := buildEngine(pax.SiteParallelism(4), pax.SiteSimplify(false))
+		rawEng, _, rshutdown, err := buildEngine(pax.SiteParallelism(4), pax.SiteSimplify(false))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
@@ -253,12 +270,63 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 			{name: "no-simplify", eng: rawEng, bytesAtMost: true},
 		}
 	}
+	// Cache twins: identical deployment plus a Stage-1 memoization cache.
+	// cacheEng's cache comfortably holds the seed's whole workload (warm
+	// hits); tinyEng's single-entry caches evict on nearly every query
+	// switch (eviction pressure). Both must be indistinguishable from the
+	// uncached primary in answers, visit counts and wire bytes.
+	var cacheEng, tinyEng *pax.Engine
+	var cacheSites, tinySites []*pax.Site
+	if opts.CompareCache {
+		var shutdown, tshutdown func()
+		var err error
+		cacheEng, cacheSites, shutdown, err = buildEngine(pax.SiteParallelism(4), pax.WithSiteCache(64))
+		if err != nil {
+			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+		}
+		defer shutdown()
+		tinyEng, tinySites, tshutdown, err = buildEngine(pax.SiteParallelism(4), pax.WithSiteCache(1))
+		if err != nil {
+			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+		}
+		defer tshutdown()
+	}
 
 	fail := func(format string, args ...any) {
 		if len(res.FailureDetails) < 10 {
 			res.FailureDetails = append(res.FailureDetails, fmt.Sprintf(format, args...))
 		}
 	}
+
+	// cmpCached evaluates one case on a cached twin and demands the result
+	// be indistinguishable from the uncached primary's: identical answers,
+	// visit counts and byte totals — whether the twin's Stage 1 was a
+	// cache miss, a hit, or a post-eviction re-miss.
+	cmpCached := func(name, query string, alg pax.Algorithm, ann bool, want *pax.Result, ce *pax.Engine) {
+		got, err := ce.Run(query, pax.Options{Algorithm: alg, Annotations: ann})
+		res.CacheCases++
+		if err != nil {
+			res.CacheDiffs++
+			fail("seed %d %s %v(XA=%v) %q: %s twin failed: %v", seed, opts.Transport, alg, ann, query, name, err)
+			return
+		}
+		if !slices.Equal(want.Answers, got.Answers) || got.MaxVisits != want.MaxVisits ||
+			got.BytesSent != want.BytesSent || got.BytesRecv != want.BytesRecv {
+			res.CacheDiffs++
+			fail("seed %d %s %v(XA=%v) %q: %s twin diverged (visits %d vs %d, bytes %d/%d vs %d/%d, %d vs %d answers)",
+				seed, opts.Transport, alg, ann, query, name,
+				want.MaxVisits, got.MaxVisits, want.BytesSent, want.BytesRecv,
+				got.BytesSent, got.BytesRecv, len(want.Answers), len(got.Answers))
+		}
+	}
+	// replays remembers each query's PaX3 primary result so the whole
+	// batch can be replayed on the warm cache twin after every other query
+	// has run — the interleaved schedule.
+	type replayCase struct {
+		query string
+		want  *pax.Result
+	}
+	var replays []replayCase
 
 	for q := 0; q < opts.Queries; q++ {
 		var query string
@@ -322,6 +390,17 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 							seq.MaxVisits, seq.BytesSent, seq.BytesRecv)
 					}
 				}
+				if cacheEng != nil {
+					// Miss-then-hit on the warm twin (the second run of a
+					// qualified PaX3 query serves Stage 1 from cache), plus
+					// the eviction-pressure twin.
+					cmpCached("warm-cache", query, alg, ann, got, cacheEng)
+					cmpCached("warm-cache repeat", query, alg, ann, got, cacheEng)
+					cmpCached("tiny-cache", query, alg, ann, got, tinyEng)
+					if alg == pax.PaX3 && !ann {
+						replays = append(replays, replayCase{query: query, want: got})
+					}
+				}
 				for _, tw := range twins {
 					tr, err := tw.eng.Run(query, popts)
 					if err != nil {
@@ -343,6 +422,19 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 					}
 				}
 			}
+		}
+	}
+	if cacheEng != nil {
+		// Interleaved-query replay: every query of the batch once more on
+		// the warm twin, after all the others have churned its caches.
+		for _, rp := range replays {
+			cmpCached("interleaved-replay", rp.query, pax.PaX3, false, rp.want, cacheEng)
+		}
+		for _, s := range cacheSites {
+			res.CacheHits += int(s.CacheStats().Hits)
+		}
+		for _, s := range tinySites {
+			res.CacheHits += int(s.CacheStats().Hits)
 		}
 	}
 	return res, nil

@@ -20,19 +20,35 @@ func requireClean(t *testing.T, res *DiffResult) {
 	}
 }
 
+// requireCacheCorpus asserts the cached-vs-uncached twin comparison
+// actually ran at scale: at least 500 cached-twin evaluations, every one
+// identical to the uncached primary, with real Stage-1 hits observed.
+func requireCacheCorpus(t *testing.T, res *DiffResult) {
+	t.Helper()
+	if res.CacheCases < 500 {
+		t.Errorf("cached-twin comparison covered %d cases, want >= 500", res.CacheCases)
+	}
+	if res.CacheHits == 0 {
+		t.Error("cached twins recorded no Stage-1 cache hits")
+	}
+}
+
 // TestDifferentialLocalSeedCorpus is the tier-1 fixed corpus: 25 seeds × 5
 // queries × {PaX3, PaX2} × {NA, XA} against the centralized evaluator on
 // the in-process transport, with the per-site visit bound asserted for
 // every single evaluation, parallel site evaluation cross-checked against
 // sequential (answers, visit counts and byte totals must match exactly),
-// and every case replayed on gob-codec and simplification-disabled twins
+// every case replayed on gob-codec and simplification-disabled twins
 // (answers and visit counts must match exactly; bytes must not shrink
-// relative to the binary+simplify primary).
+// relative to the binary+simplify primary), and every case replayed on
+// warm and eviction-pressure site-cache twins (answers, visit counts and
+// byte totals must match the uncached primary exactly).
 func TestDifferentialLocalSeedCorpus(t *testing.T) {
 	res, err := DifferentialSweep(1, 25, DiffOptions{
 		Transport:       DiffLocal,
 		CompareParallel: true,
 		CompareCodecs:   true,
+		CompareCache:    true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -41,14 +57,15 @@ func TestDifferentialLocalSeedCorpus(t *testing.T) {
 	if res.Triples < 100 {
 		t.Errorf("corpus covered %d (tree, query, fragmentation) triples, want >= 100", res.Triples)
 	}
+	requireCacheCorpus(t, res)
 }
 
 // TestDifferentialTCPSeedCorpus runs the same fixed corpus over real TCP
 // sites on loopback: the full wire codec, connection pooling and
-// per-frame accounting are in the loop, with the gob and no-simplify
-// twins deployed as their own TCP clusters.
+// per-frame accounting are in the loop, with the gob, no-simplify and
+// site-cache twins deployed as their own TCP clusters.
 func TestDifferentialTCPSeedCorpus(t *testing.T) {
-	res, err := DifferentialSweep(1, 25, DiffOptions{Transport: DiffTCP, CompareCodecs: true})
+	res, err := DifferentialSweep(1, 25, DiffOptions{Transport: DiffTCP, CompareCodecs: true, CompareCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +73,7 @@ func TestDifferentialTCPSeedCorpus(t *testing.T) {
 	if res.Triples < 100 {
 		t.Errorf("corpus covered %d (tree, query, fragmentation) triples, want >= 100", res.Triples)
 	}
+	requireCacheCorpus(t, res)
 }
 
 // TestDifferentialExtendedSweep is the randomized long-haul sweep: many
@@ -68,13 +86,14 @@ func TestDifferentialExtendedSweep(t *testing.T) {
 		Transport:       DiffLocal,
 		CompareParallel: true,
 		CompareCodecs:   true,
+		CompareCache:    true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	requireClean(t, res)
 
-	tcpRes, err := DifferentialSweep(2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true})
+	tcpRes, err := DifferentialSweep(2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true, CompareCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}

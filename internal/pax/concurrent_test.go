@@ -207,7 +207,7 @@ func TestConcurrentQueriesOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	topo := RoundRobin(ft, 3)
-	tcp, shutdown, err := BuildTCPCluster(topo)
+	tcp, _, shutdown, err := BuildTCPCluster(topo)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,22 +1,7 @@
-// Package pax implements the paper's distributed evaluation algorithms for
-// data-selecting XPath queries over a fragmented, distributed XML tree:
-//
-//   - PaX3 (§3): three stages — qualifier evaluation (extended ParBoX),
-//     selection-path evaluation, candidate resolution — visiting each site
-//     at most three times.
-//   - PaX2 (§4): qualifier and selection evaluation combined into a single
-//     traversal per fragment with lazily-bound qualifier variables,
-//     visiting each site at most twice.
-//   - The §5 optimization: XPath-annotated fragment trees used to prune
-//     irrelevant fragments and, for qualifier-free queries, to seed
-//     traversal stacks with concrete values so the final visit is skipped.
-//   - NaiveCentralized (§3): ship every fragment to the coordinator,
-//     reassemble, evaluate centrally — the baseline whose network cost the
-//     partial-evaluation algorithms avoid.
-//
-// The coordinator side (Engine) talks to sites purely through
-// dist.Transport; the site side (Site) is a dist.Handler, so the same
-// algorithm code runs in-process or over TCP.
+// The stage messages of the PaX protocols — the types that cross the
+// coordinator/site wire. Binary bodies live in wiremsg.go; package docs in
+// doc.go.
+
 package pax
 
 import (

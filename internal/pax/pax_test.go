@@ -304,7 +304,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	topo := RoundRobin(ft, 3)
-	tcp, shutdown, err := BuildTCPCluster(topo)
+	tcp, _, shutdown, err := BuildTCPCluster(topo)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,80 @@
+package pax
+
+import (
+	"time"
+
+	"paxq/internal/fragment"
+	"paxq/internal/parbox"
+	"paxq/internal/sitecache"
+	"paxq/internal/xpath"
+)
+
+// Stage-1 memoization. A site's qualifier pass (handleQual) depends only on
+// the compiled query, the fragment count (which fixes the variable scheme)
+// and the site's fragment contents — never on per-query state — so its
+// result can be replayed verbatim for every repetition of the same query:
+// the wire-encoded root vectors ship again byte-identically, and the
+// retained per-node qualifier formulas (immutable DAGs) seed the new
+// session for the later stages. A hit answers the stage request with zero
+// tree traversal. Fragment mutations must call BumpCacheGeneration to
+// invalidate; see package sitecache for the eviction/TTL/generation story.
+
+// qualKey identifies one memoizable Stage-1 evaluation at a site.
+type qualKey struct {
+	// fp is the compiled query's fingerprint: its §2.2 normal form, so
+	// textual variants of one query share an entry exactly when they
+	// compile identically. Computed once per compile-cache entry
+	// (compiledQuery), not per request.
+	fp string
+	// numFrags pins the variable scheme: residual formulas mention
+	// variables whose numbering depends on the fragment count.
+	numFrags int32
+}
+
+// compiledQuery is what a site's compile cache holds: the immutable
+// compilation plus its normal-form fingerprint, rendered once so the
+// Stage-1 cache's hot path never rebuilds it.
+type compiledQuery struct {
+	c  *xpath.Compiled
+	fp string
+}
+
+// qualEntry is the memoized Stage-1 result: the response the site shipped
+// and the per-fragment qualifier state the later stages consume. Both are
+// immutable once cached and shared by every session that hits.
+type qualEntry struct {
+	roots []WireRootVecs
+	qual  map[fragment.FragID]*parbox.FragQual
+}
+
+// EnableCache equips the site with a Stage-1 memoization cache of at most
+// size entries; size <= 0 disables caching. A non-zero ttl additionally
+// expires entries that old (a safety valve when fragments can change
+// without a BumpCacheGeneration call). Call before the site starts
+// serving, like the other Set/Enable knobs.
+func (s *Site) EnableCache(size int, ttl time.Duration) {
+	if size <= 0 {
+		s.cache = nil
+		return
+	}
+	s.cache = sitecache.New[qualKey, *qualEntry](size, ttl)
+}
+
+// CacheStats returns a snapshot of the site's Stage-1 cache counters — the
+// zero Stats when caching is disabled.
+func (s *Site) CacheStats() sitecache.Stats {
+	if s.cache == nil {
+		return sitecache.Stats{}
+	}
+	return s.cache.Stats()
+}
+
+// BumpCacheGeneration advances the site's fragment generation, dropping
+// every memoized Stage-1 result. Call after mutating the site's fragments
+// so stale partial answers are never replayed. A no-op when caching is
+// disabled.
+func (s *Site) BumpCacheGeneration() {
+	if s.cache != nil {
+		s.cache.BumpGeneration()
+	}
+}

@@ -1,0 +1,319 @@
+package pax
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"paxq/internal/fragment"
+	"paxq/internal/sitecache"
+	"paxq/internal/testutil"
+	"paxq/internal/xmltree"
+)
+
+// cachedCluster builds an engine over a local cluster whose sites carry a
+// Stage-1 cache, returning the sites for counter inspection.
+func cachedCluster(t *testing.T, numSites, size int, ttl time.Duration) (*Engine, *fragment.Fragmentation, []*Site) {
+	t.Helper()
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := RoundRobin(ft, numSites)
+	local, sites := BuildLocalCluster(topo, WithSiteCache(size), WithSiteCacheTTL(ttl))
+	return NewEngine(topo, local), ft, sites
+}
+
+func sumCacheStats(sites []*Site) sitecache.Stats {
+	var agg sitecache.Stats
+	for _, s := range sites {
+		agg.Merge(s.CacheStats())
+	}
+	return agg
+}
+
+// TestCacheHitIdenticalResult is the core memoization property: repeating a
+// qualified PaX3 query on a cache-enabled cluster serves Stage 1 from
+// cache (hits observed) with answers, visit counts and wire bytes
+// byte-identical to the cold run.
+func TestCacheHitIdenticalResult(t *testing.T) {
+	eng, _, sites := cachedCluster(t, 2, 32, 0)
+	query := `//broker[//stock/code = "GOOG"]/name`
+	opts := Options{Algorithm: PaX3}
+	cold, err := eng.Run(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sumCacheStats(sites); s.Hits != 0 || s.Misses == 0 {
+		t.Fatalf("cold run: %+v; want misses only", s)
+	}
+	for i := 0; i < 3; i++ {
+		warm, err := eng.Run(query, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(warm.Answers, cold.Answers) {
+			t.Fatalf("run %d: cached answers diverged", i)
+		}
+		if warm.MaxVisits != cold.MaxVisits {
+			t.Fatalf("run %d: visits %d != cold %d", i, warm.MaxVisits, cold.MaxVisits)
+		}
+		if warm.BytesSent != cold.BytesSent || warm.BytesRecv != cold.BytesRecv {
+			t.Fatalf("run %d: bytes %d/%d != cold %d/%d", i,
+				warm.BytesSent, warm.BytesRecv, cold.BytesSent, cold.BytesRecv)
+		}
+	}
+	s := sumCacheStats(sites)
+	if s.Hits != 3*int64(len(sites)) {
+		t.Fatalf("hits = %d; want %d (3 repeats x %d sites)", s.Hits, 3*len(sites), len(sites))
+	}
+	if s.SavedCompute <= 0 {
+		t.Fatal("hits credited no saved compute")
+	}
+}
+
+// TestCacheSharedAcrossAnnotations: Stage 1 runs over all fragments
+// regardless of the XA option, so the annotated run of the same query must
+// hit the entry its unannotated twin populated.
+func TestCacheSharedAcrossAnnotations(t *testing.T) {
+	eng, ft, sites := cachedCluster(t, 2, 32, 0)
+	tr := testutil.PaperTree()
+	query := `//broker[//stock/code = "GOOG"]/name`
+	want := oracle(t, tr, query)
+	if _, err := eng.Run(query, Options{Algorithm: PaX3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(query, Options{Algorithm: PaX3, Annotations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.EqualIDs(origIDs(ft, res.Answers), want) {
+		t.Fatal("annotated run served from cache returned wrong answers")
+	}
+	if s := sumCacheStats(sites); s.Hits == 0 {
+		t.Fatalf("annotated twin did not hit the unannotated entry: %+v", s)
+	}
+}
+
+// TestCacheFingerprintSharedAcrossTextualVariants: the cache key is the
+// compiled query's §2.2 normal form, so textual variants that compile to
+// the same program — split qualifiers vs an explicit conjunction — share
+// one entry. The variant evaluated second must hit the first's entry and
+// still produce the oracle answer (xpath compilation is normal-form
+// structural, so the replayed Stage-1 state lines up entry-for-entry; see
+// TestCacheHitIdenticalResult for the byte-identity half).
+func TestCacheFingerprintSharedAcrossTextualVariants(t *testing.T) {
+	eng, ft, sites := cachedCluster(t, 2, 32, 0)
+	tr := testutil.PaperTree()
+	a := `client[country/text() = "US"][broker/market/name/text() = "NASDAQ"]/broker/name`
+	b := `client[country/text() = "US" and broker/market/name/text() = "NASDAQ"]/broker/name`
+	want := oracle(t, tr, a)
+	if _, err := eng.Run(a, Options{Algorithm: PaX3}); err != nil {
+		t.Fatal(err)
+	}
+	before := sumCacheStats(sites)
+	res, err := eng.Run(b, Options{Algorithm: PaX3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.EqualIDs(origIDs(ft, res.Answers), want) {
+		t.Fatal("variant served from the shared entry returned wrong answers")
+	}
+	after := sumCacheStats(sites)
+	if after.Hits <= before.Hits {
+		t.Fatalf("textual variant missed the shared normal-form entry: %+v -> %+v", before, after)
+	}
+	if after.Entries != before.Entries {
+		t.Fatalf("variant created its own entry: %d -> %d entries", before.Entries, after.Entries)
+	}
+}
+
+// TestCacheEvictionPressure: a size-1 cache under an alternating two-query
+// workload evicts on every switch yet stays correct.
+func TestCacheEvictionPressure(t *testing.T) {
+	eng, ft, sites := cachedCluster(t, 2, 1, 0)
+	tr := testutil.PaperTree()
+	queries := []string{
+		`//broker[//stock/code = "GOOG"]/name`,
+		`client[country/text() = "US"]/broker[market/name/text() = "NASDAQ"]/name`,
+	}
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			res, err := eng.Run(q, Options{Algorithm: PaX3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !testutil.EqualIDs(origIDs(ft, res.Answers), oracle(t, tr, q)) {
+				t.Fatalf("round %d %q: wrong answers under eviction pressure", round, q)
+			}
+		}
+	}
+	s := sumCacheStats(sites)
+	if s.Evictions == 0 {
+		t.Fatalf("alternating workload on a 1-entry cache evicted nothing: %+v", s)
+	}
+	if s.Entries > len(sites) {
+		t.Fatalf("entries %d exceed the per-site bound of 1", s.Entries)
+	}
+}
+
+// TestCacheTTLExpiry: an expired entry is re-evaluated, not replayed.
+func TestCacheTTLExpiry(t *testing.T) {
+	eng, _, sites := cachedCluster(t, 1, 8, 5*time.Millisecond)
+	query := `//broker[//stock/code = "GOOG"]/name`
+	cold, err := eng.Run(query, Options{Algorithm: PaX3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	warm, err := eng.Run(query, Options{Algorithm: PaX3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(warm.Answers, cold.Answers) {
+		t.Fatal("post-expiry answers diverged")
+	}
+	s := sumCacheStats(sites)
+	if s.Expirations == 0 {
+		t.Fatalf("entry did not expire: %+v", s)
+	}
+	if s.Hits != 0 {
+		t.Fatalf("expired entry was served: %+v", s)
+	}
+}
+
+// TestCacheGenerationBump: bumping the fragment generation invalidates
+// every memoized result; the next run misses and re-populates.
+func TestCacheGenerationBump(t *testing.T) {
+	eng, _, sites := cachedCluster(t, 2, 32, 0)
+	query := `//broker[//stock/code = "GOOG"]/name`
+	if _, err := eng.Run(query, Options{Algorithm: PaX3}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sites {
+		s.BumpCacheGeneration()
+	}
+	s := sumCacheStats(sites)
+	if s.Invalidations == 0 || s.Entries != 0 {
+		t.Fatalf("bump left entries: %+v", s)
+	}
+	if _, err := eng.Run(query, Options{Algorithm: PaX3}); err != nil {
+		t.Fatal(err)
+	}
+	s = sumCacheStats(sites)
+	if s.Hits != 0 {
+		t.Fatalf("post-bump run hit a stale entry: %+v", s)
+	}
+	if s.Entries == 0 {
+		t.Fatal("post-bump run did not repopulate the cache")
+	}
+	if got := sites[0].CacheStats().Generation; got != 1 {
+		t.Fatalf("generation = %d; want 1", got)
+	}
+}
+
+// TestCacheConcurrentHitMiss races many goroutines over a shared cluster
+// mixing repeated (hit-prone) and distinct (miss-prone) queries; under
+// -race this exercises the cache lock discipline and the shared immutable
+// FragQual state, and every result must stay correct.
+func TestCacheConcurrentHitMiss(t *testing.T) {
+	eng, ft, sites := cachedCluster(t, 2, 4, 0)
+	tr := testutil.PaperTree()
+	queries := []string{
+		`//broker[//stock/code = "GOOG"]/name`,
+		`//broker[//stock/code = "GOOG" and not(//stock/code = "YHOO")]/name`,
+		`client[country/text() = "US"]/broker[market/name/text() = "NASDAQ"]/name`,
+		`//stock[buy/val() > 375]/code`,
+		`client[not(country = "US")]/broker/name`,
+	}
+	oracles := make([][]xmltree.NodeID, len(queries))
+	for i, q := range queries {
+		oracles[i] = oracle(t, tr, q)
+	}
+	const workers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				qi := (w + i) % len(queries)
+				res, err := eng.Run(queries[qi], Options{Algorithm: PaX3, Annotations: i%2 == 0})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !testutil.EqualIDs(origIDs(ft, res.Answers), oracles[qi]) {
+					errs <- fmt.Errorf("concurrent cached run diverged from oracle: %s", queries[qi])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := sumCacheStats(sites)
+	if s.Hits == 0 {
+		t.Fatalf("concurrent workload produced no hits: %+v", s)
+	}
+	if s.Hits+s.Misses == 0 {
+		t.Fatal("cache never consulted")
+	}
+}
+
+// TestCacheLedgerConservation: with caching on, the sum of every query's
+// private ledger still equals the transport's lifetime totals — hits
+// report only the work actually done, and the avoided compute shows up
+// exclusively in SavedCompute.
+func TestCacheLedgerConservation(t *testing.T) {
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := RoundRobin(ft, 2)
+	local, sites := BuildLocalCluster(topo, WithSiteCache(32))
+	eng := NewEngine(topo, local)
+
+	var sumSent, sumRecv int64
+	var sumCompute time.Duration
+	var sumVisits int
+	query := `//broker[//stock/code = "GOOG"]/name`
+	for i := 0; i < 5; i++ {
+		res, err := eng.Run(query, Options{Algorithm: PaX3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumSent += res.BytesSent
+		sumRecv += res.BytesRecv
+		sumCompute += res.TotalCompute
+	}
+	snap := local.Metrics().Snapshot()
+	for _, n := range snap.Visits {
+		sumVisits += n
+	}
+	if snap.Sent != sumSent || snap.Recv != sumRecv {
+		t.Fatalf("byte conservation broken: transport %d/%d, ledgers %d/%d",
+			snap.Sent, snap.Recv, sumSent, sumRecv)
+	}
+	var transportCompute time.Duration
+	for _, d := range snap.Compute {
+		transportCompute += d
+	}
+	if transportCompute != sumCompute {
+		t.Fatalf("compute conservation broken: transport %v, ledgers %v", transportCompute, sumCompute)
+	}
+	s := sumCacheStats(sites)
+	if s.Hits == 0 || s.SavedCompute <= 0 {
+		t.Fatalf("repeated runs produced no cache savings: %+v", s)
+	}
+	_ = sumVisits
+}

@@ -11,6 +11,7 @@ import (
 	"paxq/internal/dist"
 	"paxq/internal/fragment"
 	"paxq/internal/parbox"
+	"paxq/internal/sitecache"
 	"paxq/internal/xmltree"
 	"paxq/internal/xpath"
 )
@@ -32,9 +33,13 @@ import (
 type Site struct {
 	id       dist.SiteID
 	frags    map[fragment.FragID]*fragment.Fragment
-	compiled *lru[string, *xpath.Compiled]
+	compiled *lru[string, compiledQuery]
 	par      int
 	simplify bool
+	// cache, when enabled, memoizes Stage-1 (qualifier pass) results per
+	// compiled query so repeated queries skip the fragment traversal
+	// entirely — see qualcache.go and package sitecache. Nil = disabled.
+	cache *sitecache.Cache[qualKey, *qualEntry]
 
 	mu       sync.Mutex
 	sessions map[QueryID]*session
@@ -42,7 +47,10 @@ type Site struct {
 
 // session is the per-query state a site retains between visits.
 type session struct {
-	c  *xpath.Compiled
+	c *xpath.Compiled
+	// fp is the compiled query's normal-form fingerprint — the Stage-1
+	// cache key component, carried from the compile cache.
+	fp string
 	vs parbox.VarScheme
 	// workers is the session's private worker pool: fragment evaluation
 	// within this query's stage requests is bounded by its capacity. Each
@@ -83,7 +91,7 @@ func NewSite(id dist.SiteID, frags []*fragment.Fragment) *Site {
 	s := &Site{
 		id:       id,
 		frags:    make(map[fragment.FragID]*fragment.Fragment, len(frags)),
-		compiled: newLRU[string, *xpath.Compiled](defaultSiteCompileCache),
+		compiled: newLRU[string, compiledQuery](defaultSiteCompileCache),
 		par:      runtime.GOMAXPROCS(0),
 		simplify: true,
 		sessions: make(map[QueryID]*session),
@@ -199,13 +207,14 @@ func (s *Site) getSession(qid QueryID, query string, numFrags int32) (*session, 
 	if len(s.sessions) >= maxSessions {
 		return nil, fmt.Errorf("pax: site %d: %w (%d queries in flight)", s.id, ErrSessionLimit, len(s.sessions))
 	}
-	c, err := s.compile(query)
+	cq, err := s.compile(query)
 	if err != nil {
 		return nil, fmt.Errorf("pax: site %d: %w", s.id, err)
 	}
 	sess := &session{
-		c:        c,
-		vs:       parbox.NewVarScheme(c, int(numFrags)),
+		c:        cq.c,
+		fp:       cq.fp,
+		vs:       parbox.NewVarScheme(cq.c, int(numFrags)),
 		workers:  make(chan struct{}, s.par),
 		lastUsed: now,
 		qual:     make(map[fragment.FragID]*parbox.FragQual),
@@ -276,18 +285,20 @@ func evalFrags[T any](sess *session, frags []fragment.FragID, fn func(fragment.F
 	return out, compute, wall, nil
 }
 
-// compile returns the site's cached compilation of query. The Compiled is
-// immutable and shared by every session evaluating the same query text.
-func (s *Site) compile(query string) (*xpath.Compiled, error) {
-	if c, ok := s.compiled.get(query); ok {
-		return c, nil
+// compile returns the site's cached compilation of query — the immutable
+// Compiled plus its normal-form fingerprint, both shared by every session
+// evaluating the same query text.
+func (s *Site) compile(query string) (compiledQuery, error) {
+	if cq, ok := s.compiled.get(query); ok {
+		return cq, nil
 	}
 	c, err := xpath.Compile(query)
 	if err != nil {
-		return nil, err
+		return compiledQuery{}, err
 	}
-	s.compiled.put(query, c)
-	return c, nil
+	cq := compiledQuery{c: c, fp: xpath.NormalForm(c.Query)}
+	s.compiled.put(query, cq)
+	return cq, nil
 }
 
 func (s *Site) dropSessionIfDone(qid QueryID, sess *session) {
@@ -305,6 +316,31 @@ func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
 	sess, err := s.getSession(req.QID, req.Query, req.NumFrags)
 	if err != nil {
 		return nil, err
+	}
+	var key qualKey
+	var gen uint64
+	if s.cache != nil {
+		key = qualKey{fp: sess.fp, numFrags: req.NumFrags}
+		// Snapshot the generation before any fragment is read: if a
+		// BumpGeneration lands during the evaluation below, the results
+		// were (partly) derived from pre-bump fragment contents and the
+		// Put must be dropped, not resurrected into the new generation.
+		gen = s.cache.Generation()
+		if e, ok := s.cache.Get(key); ok {
+			// Replay the memoized pass: the shipped roots are byte-identical
+			// to a fresh evaluation (deterministic simplification), and the
+			// cached per-fragment qualifier state seeds this session for the
+			// selection stage. The entry's original compute is credited to
+			// the cache's SavedCompute counter by Get — never to this
+			// query's ledger, which reports only the (tiny) work actually
+			// done here, so cost conservation keeps holding.
+			for fid, fq := range e.qual {
+				sess.qual[fid] = fq
+			}
+			resp := &QualStageResp{Roots: e.roots}
+			resp.StageCompute = stageCompute(start, 0, 0)
+			return resp, nil
+		}
 	}
 	type qualOut struct {
 		rv WireRootVecs
@@ -347,6 +383,15 @@ func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
 	for i, fid := range frags {
 		sess.qual[fid] = outs[i].fq
 		resp.Roots = append(resp.Roots, outs[i].rv)
+	}
+	if s.cache != nil {
+		e := &qualEntry{roots: resp.Roots, qual: make(map[fragment.FragID]*parbox.FragQual, len(frags))}
+		for i, fid := range frags {
+			e.qual[fid] = outs[i].fq
+		}
+		// The entry's cost is the fragment-evaluation time this miss paid —
+		// what every future hit avoids.
+		s.cache.Put(key, e, compute, gen)
 	}
 	resp.StageCompute = stageCompute(start, compute, parWall)
 	return resp, nil

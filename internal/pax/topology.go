@@ -3,6 +3,7 @@ package pax
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"paxq/internal/dist"
 	"paxq/internal/fragment"
@@ -67,8 +68,10 @@ func (t *Topology) FragsAt(site dist.SiteID) []fragment.FragID { return t.fragsA
 type SiteOption func(*clusterConfig)
 
 type clusterConfig struct {
-	site  []func(*Site)
-	codec dist.Codec
+	site      []func(*Site)
+	codec     dist.Codec
+	cacheSize int
+	cacheTTL  time.Duration
 }
 
 func buildConfig(opts []SiteOption) clusterConfig {
@@ -81,6 +84,9 @@ func buildConfig(opts []SiteOption) clusterConfig {
 
 func (c *clusterConfig) newSite(sid dist.SiteID, frags []*fragment.Fragment) *Site {
 	site := NewSite(sid, frags)
+	if c.cacheSize > 0 {
+		site.EnableCache(c.cacheSize, c.cacheTTL)
+	}
 	for _, o := range c.site {
 		o(site)
 	}
@@ -110,6 +116,21 @@ func ClusterCodec(codec dist.Codec) SiteOption {
 	return func(c *clusterConfig) { c.codec = codec }
 }
 
+// WithSiteCache equips every site with a Stage-1 memoization cache of at
+// most size entries per site (see Site.EnableCache): repeated queries
+// answer the qualifier stage from cache with zero tree traversal. size <= 0
+// (the default) disables caching.
+func WithSiteCache(size int) SiteOption {
+	return func(c *clusterConfig) { c.cacheSize = size }
+}
+
+// WithSiteCacheTTL bounds the lifetime of memoized Stage-1 results;
+// entries older than ttl expire on access. 0 (the default) means entries
+// live until evicted or invalidated. Meaningful only with WithSiteCache.
+func WithSiteCacheTTL(ttl time.Duration) SiteOption {
+	return func(c *clusterConfig) { c.cacheTTL = ttl }
+}
+
 // BuildLocalCluster constructs the in-process cluster for a topology: one
 // Site per SiteID, registered on a fresh Local transport.
 func BuildLocalCluster(t *Topology, opts ...SiteOption) (*dist.Local, []*Site) {
@@ -129,11 +150,14 @@ func BuildLocalCluster(t *Topology, opts ...SiteOption) (*dist.Local, []*Site) {
 }
 
 // BuildTCPCluster starts one TCP server per site on the loopback interface
-// and returns the connected transport plus a shutdown function.
-func BuildTCPCluster(t *Topology, opts ...SiteOption) (*dist.TCP, func(), error) {
+// and returns the connected transport, the in-process Site instances
+// backing the servers (for cache/stats introspection), and a shutdown
+// function.
+func BuildTCPCluster(t *Topology, opts ...SiteOption) (*dist.TCP, []*Site, func(), error) {
 	cfg := buildConfig(opts)
 	addrs := make(map[dist.SiteID]string, len(t.sites))
 	var servers []*dist.TCPServer
+	var sites []*Site
 	shutdown := func() {
 		for _, s := range servers {
 			s.Close()
@@ -148,11 +172,12 @@ func BuildTCPCluster(t *Topology, opts ...SiteOption) (*dist.TCP, func(), error)
 		srv, err := dist.NewTCPServer("127.0.0.1:0", site.Handler(), dist.WithCodec(cfg.codec))
 		if err != nil {
 			shutdown()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		servers = append(servers, srv)
+		sites = append(sites, site)
 		addrs[sid] = srv.Addr()
 	}
 	tcp := dist.NewTCP(addrs, dist.WithCodec(cfg.codec))
-	return tcp, func() { tcp.Close(); shutdown() }, nil
+	return tcp, sites, func() { tcp.Close(); shutdown() }, nil
 }

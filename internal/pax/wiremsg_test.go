@@ -292,7 +292,7 @@ func TestSelfQualifierOverTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		topo := RoundRobin(ft, 2)
-		tcp, shutdown, err := BuildTCPCluster(topo)
+		tcp, _, shutdown, err := BuildTCPCluster(topo)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,195 @@
+package sitecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHitMissAndRecency(t *testing.T) {
+	c := New[string, int](2, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1, 10, 0)
+	c.Put("b", 2, 20, 0)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	// "a" was just used; inserting "c" must evict "b", the LRU entry.
+	c.Put("c", 3, 30, 0)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v; want 2 hits, 1 eviction, 2 entries", s)
+	}
+	if s.SavedCompute != 20 { // two hits on "a", cost 10 each
+		t.Fatalf("SavedCompute = %v; want 20ns", s.SavedCompute)
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	c := New[int, int](4, 0)
+	for i := 0; i < 100; i++ {
+		c.Put(i, i, 0, 0)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d after 100 inserts into a 4-entry cache", c.Len())
+	}
+	s := c.Stats()
+	if s.Evictions != 96 {
+		t.Fatalf("Evictions = %d; want 96", s.Evictions)
+	}
+	// Exactly the last four survive.
+	for i := 96; i < 100; i++ {
+		if _, ok := c.Get(i); !ok {
+			t.Fatalf("entry %d missing after pressure", i)
+		}
+	}
+}
+
+func TestPutRefreshDoesNotGrow(t *testing.T) {
+	c := New[string, int](2, 0)
+	c.Put("a", 1, 0, 0)
+	c.Put("a", 2, 0, 0)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after double Put of one key", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("refreshed value = %d; want 2", v)
+	}
+	if s := c.Stats(); s.Evictions != 0 {
+		t.Fatalf("refresh evicted: %+v", s)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := New[string, int](8, time.Minute)
+	c.SetClock(func() time.Time { return now })
+	c.Put("a", 1, 5, 0)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(59 * time.Second)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	now = now.Add(2 * time.Second) // past the original deadline
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived its TTL")
+	}
+	s := c.Stats()
+	if s.Expirations != 1 || s.Entries != 0 {
+		t.Fatalf("stats = %+v; want 1 expiration, 0 entries", s)
+	}
+	// A hit does not extend life: expiry is from Put time.
+	c.Put("b", 2, 0, 0)
+	now = now.Add(30 * time.Second)
+	c.Get("b")
+	now = now.Add(31 * time.Second)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("hit extended the entry's TTL")
+	}
+}
+
+func TestGenerationBumpInvalidatesEverything(t *testing.T) {
+	c := New[string, int](8, 0)
+	c.Put("a", 1, 0, 0)
+	c.Put("b", 2, 0, 0)
+	c.BumpGeneration()
+	if c.Generation() != 1 {
+		t.Fatalf("Generation = %d; want 1", c.Generation())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry a survived a generation bump")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("entry b survived a generation bump")
+	}
+	s := c.Stats()
+	if s.Invalidations != 2 || s.Entries != 0 {
+		t.Fatalf("stats = %+v; want 2 invalidations, 0 entries", s)
+	}
+	// The cache keeps working under the new generation.
+	c.Put("a", 3, 0, c.Generation())
+	if v, ok := c.Get("a"); !ok || v != 3 {
+		t.Fatalf("post-bump Get(a) = %d, %v; want 3, true", v, ok)
+	}
+}
+
+// TestStalePutDropped: a value computed under an old generation must not
+// be inserted after a bump — the exact race a site hits when fragments
+// mutate while a Stage-1 miss is mid-evaluation.
+func TestStalePutDropped(t *testing.T) {
+	c := New[string, int](8, 0)
+	gen := c.Generation() // snapshot, then "evaluate" against old data
+	c.BumpGeneration()    // fragments mutate mid-evaluation
+	c.Put("a", 1, 0, gen) // the stale result arrives late
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("stale-generation Put was inserted after a bump")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d; want 0", c.Len())
+	}
+	// A value computed under the current generation still inserts.
+	c.Put("a", 2, 0, c.Generation())
+	if v, ok := c.Get("a"); !ok || v != 2 {
+		t.Fatalf("current-generation Put lost: %d, %v", v, ok)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Hits: 1, Misses: 2, Evictions: 3, Expirations: 4, Invalidations: 5, SavedCompute: 6, Entries: 7, Generation: 1}
+	b := Stats{Hits: 10, Misses: 20, Evictions: 30, Expirations: 40, Invalidations: 50, SavedCompute: 60, Entries: 70, Generation: 3}
+	a.Merge(b)
+	want := Stats{Hits: 11, Misses: 22, Evictions: 33, Expirations: 44, Invalidations: 55, SavedCompute: 66, Entries: 77, Generation: 3}
+	if a != want {
+		t.Fatalf("Merge = %+v; want %+v", a, want)
+	}
+}
+
+// TestConcurrentAccess hammers one cache from many goroutines mixing gets,
+// puts, bumps and stats reads; run under -race it proves the lock
+// discipline. Counter coherence is asserted at the end: every Get is
+// either a hit or a miss.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[string, int](16, time.Hour)
+	const workers = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("q%d", (w+i)%24) // beyond capacity: evictions happen
+				gen := c.Generation()
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, i, time.Duration(i), gen)
+				}
+				if i%101 == 0 {
+					c.BumpGeneration()
+				}
+				if i%13 == 0 {
+					c.Stats()
+					c.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != workers*rounds {
+		t.Fatalf("hits %d + misses %d != %d gets", s.Hits, s.Misses, workers*rounds)
+	}
+	if s.Entries > 16 {
+		t.Fatalf("cache grew past capacity: %d entries", s.Entries)
+	}
+}

@@ -1,0 +1,28 @@
+// Package wirefmt holds the primitive append/consume encoders shared by
+// the hand-written binary wire formats of internal/dist (envelopes) and
+// internal/pax (stage messages).
+//
+// Every encoder is append-style — it extends a caller-owned buffer and
+// returns the extended slice — so composite messages encode into one
+// pre-sized or pooled buffer without intermediate allocations. Every
+// decoder consumes a prefix of its input and returns the remainder;
+// malformed or short input yields an error wrapping ErrTruncated or
+// ErrMalformed, so corruption is distinguishable from transport failures
+// with errors.Is.
+//
+// # Primitives
+//
+//   - Uvarint: unsigned LEB128-style varints (the integer workhorse);
+//   - Bool / Bools: one byte, or a length-prefixed bit-packed vector;
+//   - String / Bytes: length-prefixed payloads.
+//
+// Announced lengths are bounded (maxLen) before any allocation is sized,
+// so a hostile few-byte prefix cannot amplify into a giant allocation.
+//
+// # Aliasing contract
+//
+// Decoded byte slices alias the input buffer (zero copy); decoded strings
+// and bool slices are fresh. Callers that retain decoded []byte fields
+// must not recycle the buffer they decoded from — dist's frame reader
+// allocates a fresh buffer per frame for exactly this reason.
+package wirefmt

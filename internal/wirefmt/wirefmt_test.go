@@ -50,9 +50,9 @@ func TestNilVersusEmpty(t *testing.T) {
 
 func TestTruncationIsTyped(t *testing.T) {
 	cases := [][]byte{
-		{},                 // missing varint
-		{0x80},             // unterminated varint
-		{5, 'a'},           // bytes: 5 announced, 1 available
+		{},                    // missing varint
+		{0x80},                // unterminated varint
+		{5, 'a'},              // bytes: 5 announced, 1 available
 		AppendUvarint(nil, 9), // bools: 9 entries, no bits
 	}
 	for _, p := range cases {

@@ -58,6 +58,7 @@ import (
 	"paxq/internal/dist"
 	"paxq/internal/fragment"
 	"paxq/internal/pax"
+	"paxq/internal/sitecache"
 	"paxq/internal/xmark"
 	"paxq/internal/xmltree"
 	"paxq/internal/xpath"
@@ -217,6 +218,17 @@ type ClusterOptions struct {
 	// way; disabling it trades bytes on the wire for a little site CPU,
 	// and exists mainly so tests can cross-check the pass.
 	DisableSimplify bool
+	// SiteCacheSize equips every site with a Stage-1 (qualifier pass)
+	// memoization cache of at most this many entries: a repeated query
+	// answers its qualifier stage from cache with zero tree traversal,
+	// shipping byte-identical residual formulas. 0 (the default) disables
+	// caching. Invalidate with BumpSiteCacheGeneration after mutating
+	// fragments; counters surface in TransportStats.SiteCache.
+	SiteCacheSize int
+	// SiteCacheTTL bounds the lifetime of memoized Stage-1 results; 0
+	// means entries live until evicted or invalidated. Meaningful only
+	// with SiteCacheSize > 0.
+	SiteCacheTTL time.Duration
 }
 
 // Cluster is a fragmented, distributed document plus a coordinator. It is
@@ -227,6 +239,7 @@ type Cluster struct {
 	topo     *pax.Topology
 	engine   *pax.Engine
 	tr       dist.Transport
+	sites    []*pax.Site
 	shutdown func()
 }
 
@@ -276,23 +289,28 @@ func NewCluster(doc *Document, opts ClusterOptions) (*Cluster, error) {
 	if opts.DisableSimplify {
 		siteOpts = append(siteOpts, pax.SiteSimplify(false))
 	}
+	if opts.SiteCacheSize > 0 {
+		siteOpts = append(siteOpts, pax.WithSiteCache(opts.SiteCacheSize), pax.WithSiteCacheTTL(opts.SiteCacheTTL))
+	}
 	engOpts := []pax.EngineOption{
 		pax.WithMaxInFlight(opts.MaxInFlight),
 		pax.WithQueueTimeout(opts.QueueTimeout),
 	}
 	switch opts.Transport {
 	case TransportLocal:
-		local, _ := pax.BuildLocalCluster(topo, siteOpts...)
+		local, sites := pax.BuildLocalCluster(topo, siteOpts...)
 		c.engine = pax.NewEngine(topo, local, engOpts...)
 		c.tr = local
+		c.sites = sites
 		c.shutdown = func() {}
 	case TransportTCP:
-		tcp, stop, err := pax.BuildTCPCluster(topo, siteOpts...)
+		tcp, sites, stop, err := pax.BuildTCPCluster(topo, siteOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("paxq: %w", err)
 		}
 		c.engine = pax.NewEngine(topo, tcp, engOpts...)
 		c.tr = tcp
+		c.sites = sites
 		c.shutdown = stop
 	default:
 		return nil, fmt.Errorf("paxq: unknown transport %d", opts.Transport)
@@ -402,16 +420,32 @@ func (c *Cluster) EvaluateBool(query string) (bool, error) {
 	return ok, err
 }
 
+// SiteCacheStats aggregates the Stage-1 memoization cache counters of
+// every site in the cluster (all zero when ClusterOptions.SiteCacheSize is
+// 0). SavedCompute is the site computation the cache avoided — reported
+// here, never in any query's Stats, so per-query cost conservation holds.
+type SiteCacheStats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Expirations   int64
+	Invalidations int64
+	SavedCompute  time.Duration
+	Entries       int
+	Generation    uint64
+}
+
 // TransportStats are the cluster transport's cumulative lifetime counters:
-// the sum of the cost of every site call ever made, across all queries.
-// Per-query accounting lives in Stats; these totals feed monitoring (e.g.
-// paxserve's /metrics endpoint).
+// the sum of the cost of every site call ever made, across all queries —
+// plus the aggregated site-cache counters. Per-query accounting lives in
+// Stats; these totals feed monitoring (e.g. paxserve's /metrics endpoint).
 type TransportStats struct {
 	BytesSent     int64
 	BytesReceived int64
 	TotalCompute  time.Duration
 	TotalVisits   int
 	SiteVisits    map[int]int
+	SiteCache     SiteCacheStats
 }
 
 // TransportStats returns a snapshot of the transport's lifetime counters.
@@ -430,7 +464,31 @@ func (c *Cluster) TransportStats() TransportStats {
 	for _, d := range snap.Compute {
 		out.TotalCompute += d
 	}
+	var agg sitecache.Stats
+	for _, s := range c.sites {
+		agg.Merge(s.CacheStats())
+	}
+	out.SiteCache = SiteCacheStats{
+		Hits:          agg.Hits,
+		Misses:        agg.Misses,
+		Evictions:     agg.Evictions,
+		Expirations:   agg.Expirations,
+		Invalidations: agg.Invalidations,
+		SavedCompute:  agg.SavedCompute,
+		Entries:       agg.Entries,
+		Generation:    agg.Generation,
+	}
 	return out
+}
+
+// BumpSiteCacheGeneration advances the fragment generation of every site's
+// Stage-1 cache, invalidating all memoized results — call after mutating
+// the underlying fragments so stale partial answers are never replayed.
+// A no-op when caching is disabled.
+func (c *Cluster) BumpSiteCacheGeneration() {
+	for _, s := range c.sites {
+		s.BumpCacheGeneration()
+	}
 }
 
 // EvaluateCentralized evaluates query over the unfragmented document with
