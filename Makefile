@@ -8,14 +8,15 @@ COVER_MIN ?= 85
 # Per-target budget of the fuzz smoke in the check gate.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke docs-check bench
+.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke docs-check lint lint-fixtures bench
 
 # The tier-1 verification gate: everything must compile, vet clean, pass,
 # stay race-free under the concurrent serving load tests, hold the
 # coverage floor on the core packages, survive a short fuzz smoke of the
 # parser and the wire codec, prove the binary codec agrees with gob on
-# the fixed message corpus, and keep the documentation honest.
-check: build vet test test-race cover codec-smoke fuzz-smoke docs-check
+# the fixed message corpus, keep the documentation honest, and hold the
+# machine-checked invariants of tools/paxlint.
+check: build vet test test-race cover codec-smoke fuzz-smoke docs-check lint
 
 build:
 	$(GO) build ./...
@@ -62,6 +63,22 @@ codec-smoke:
 # target (rather than re-running go vet) so `make check` vets once.
 docs-check: vet
 	$(GO) run ./tools/docscheck
+
+# Invariant gate: tools/paxlint runs five custom analyzers over the whole
+# module and fails on any violation of the wire, ledger, context, panic
+# or lock-scope discipline (see ARCHITECTURE.md, "Machine-checked
+# invariants"). Suppressions require a //paxlint:allow marker with a
+# reason.
+lint:
+	$(GO) run ./tools/paxlint
+
+# The analyzers' own test suites: every analyzer runs against positive
+# and negative fixture packages under tools/paxlint/*/testdata with
+# exact expected-diagnostic matching, plus the docscheck fixture suite.
+# Already covered by `make test` (go test ./...); this target exists for
+# a quick loop while writing or tuning analyzers.
+lint-fixtures:
+	$(GO) test ./tools/paxlint/... ./tools/docscheck
 
 # Codec / encode / simplify microbenchmarks with allocation profiles —
 # the numbers behind BENCH_codec.json — then a one-iteration smoke of

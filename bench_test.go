@@ -15,6 +15,7 @@
 package paxq_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -66,7 +67,7 @@ func runVariants(b *testing.B, eng *pax.Engine, query string, variants map[strin
 			var totalCPU, bytes int64
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := eng.Run(query, opts)
+				res, err := eng.RunContext(context.Background(), query, opts)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -33,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -56,6 +57,7 @@ func main() {
 	sitePar := flag.Int("site-parallelism", 0, "concurrent mode: per-site fragment evaluation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
+	ctx := context.Background()
 	cfg := harness.Config{Scale: *scale, MaxFrags: *frags, Steps: *steps, Runs: *runs, Seed: *seed}
 	writeJSON := func(v any) {
 		if *jsonPath == "" {
@@ -79,7 +81,7 @@ func main() {
 	}
 
 	run1 := func() {
-		figA, figB, err := harness.Experiment1(cfg)
+		figA, figB, err := harness.Experiment1(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -87,7 +89,7 @@ func main() {
 		emit(figB)
 	}
 	run23 := func(want10, want11 bool) {
-		fig10, fig11, err := harness.Experiment23(cfg)
+		fig10, fig11, err := harness.Experiment23(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -103,7 +105,7 @@ func main() {
 		}
 	}
 	runTraffic := func() {
-		fig, err := harness.TrafficExperiment(cfg)
+		fig, err := harness.TrafficExperiment(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -121,7 +123,7 @@ func main() {
 		fmt.Println()
 	}
 	runConcurrent := func() {
-		rep, err := harness.ConcurrentLoadParallelism(cfg, *workers, *load, *sitePar)
+		rep, err := harness.ConcurrentLoadParallelism(ctx, cfg, *workers, *load, *sitePar)
 		if rep != nil {
 			fmt.Println(rep)
 		}
@@ -144,7 +146,7 @@ func main() {
 		}
 		var out []diffOut
 		for _, tr := range []harness.DiffTransport{harness.DiffLocal, harness.DiffTCP} {
-			res, err := harness.DifferentialSweep(*seed, *load, harness.DiffOptions{
+			res, err := harness.DifferentialSweep(ctx, *seed, *load, harness.DiffOptions{
 				Transport:       tr,
 				CompareParallel: true,
 				CompareCodecs:   true,
@@ -167,7 +169,7 @@ func main() {
 		writeJSON(out)
 	}
 	runCodec := func() {
-		rep, err := harness.CodecBench(cfg)
+		rep, err := harness.CodecBench(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -175,7 +177,7 @@ func main() {
 		writeJSON(rep)
 	}
 	runCache := func() {
-		rep, err := harness.CacheBench(cfg)
+		rep, err := harness.CacheBench(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -229,7 +230,7 @@ func runRemote(manifestPath string, siteFlags []string, query, algo string, xa, 
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", algo))
 	}
-	res, err := eng.Run(query, pax.Options{Algorithm: alg, Annotations: xa, ShipXML: shipXML})
+	res, err := eng.RunContext(context.Background(), query, pax.Options{Algorithm: alg, Annotations: xa, ShipXML: shipXML})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,7 @@
 package paxq_test
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -79,7 +80,7 @@ func TestSoakXMarkAllVariants(t *testing.T) {
 			c := xpath.MustCompile(query)
 			want := centeval.EvalVector(tree, c)
 			for _, opts := range variants {
-				res, err := eng.Run(query, opts)
+				res, err := eng.RunContext(context.Background(), query, opts)
 				if err != nil {
 					t.Fatalf("%s %v %q: %v", spec.name, opts.Algorithm, query, err)
 				}
@@ -133,7 +134,7 @@ func TestSoakBooleanProtocol(t *testing.T) {
 	}
 	for _, q := range queries {
 		want := centeval.EvalBool(tree, xpath.MustCompile(q))
-		got, res, err := eng.RunBoolean(q, pax.Options{})
+		got, res, err := eng.RunBooleanContext(context.Background(), q, pax.Options{})
 		if err != nil {
 			t.Fatalf("%q: %v", q, err)
 		}

@@ -81,6 +81,7 @@ func Const(b bool) *Formula {
 // V returns the formula consisting of the single variable v.
 func V(v Var) *Formula {
 	if v == NoVar {
+		//paxlint:allow nopanic(constructor misuse: NoVar is a compile-time sentinel no data path produces)
 		panic("boolexpr: V(NoVar)")
 	}
 	return &Formula{op: OpVar, v: v}
@@ -150,6 +151,7 @@ func nary(op Op, fs []*Formula) *Formula {
 	var add func(f *Formula) bool // returns false if the result is absorbed
 	add = func(f *Formula) bool {
 		if f == nil {
+			//paxlint:allow nopanic(constructor misuse: operands come from constructors that never return nil)
 			panic("boolexpr: nil operand")
 		}
 		if f == absorber || f.op == absorber.op {
@@ -304,6 +306,7 @@ func (f *Formula) Eval(get func(Var) bool) bool {
 		}
 		return false
 	}
+	//paxlint:allow nopanic(unreachable: the op switch above is exhaustive for constructor-built formulas)
 	panic("boolexpr: corrupt formula")
 }
 

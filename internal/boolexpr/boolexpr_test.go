@@ -1,6 +1,7 @@
 package boolexpr
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -179,21 +180,43 @@ func TestEnvRebindSameOK(t *testing.T) {
 	}
 }
 
-func TestEnvRebindConflictPanics(t *testing.T) {
+func TestEnvRebindConflictError(t *testing.T) {
+	e := NewEnv()
+	if err := e.BindConst(1, true); err != nil {
+		t.Fatal(err)
+	}
+	err := e.BindConst(1, false)
+	if !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("conflicting rebind = %v, want ErrInconsistent", err)
+	}
+	if err := e.Bind(NoVar, True()); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("Bind(NoVar) = %v, want ErrInconsistent", err)
+	}
+}
+
+func TestMustBindPanicsOnConflict(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Fatal("conflicting rebind must panic")
+		r := recover()
+		if r == nil {
+			t.Fatal("MustBind on a conflict must panic")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, ErrInconsistent) {
+			t.Fatalf("panic value = %v, want an ErrInconsistent-wrapping error", r)
 		}
 	}()
 	e := NewEnv()
-	e.BindConst(1, true)
-	e.BindConst(1, false)
+	e.MustBind(1, True())
+	e.MustBind(1, False())
 }
 
 func TestEnvCycleDetection(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("cyclic binding must panic")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, ErrInconsistent) {
+			t.Fatalf("panic value = %v, want an ErrInconsistent-wrapping error", r)
 		}
 	}()
 	e := NewEnv()

@@ -1,6 +1,17 @@
 package boolexpr
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInconsistent is the sentinel every unification failure wraps: a
+// conflicting rebinding, a cyclic binding chain, or a formula that is not
+// ground where the theory says it must be. On the coordinator these
+// conditions can only be produced by corrupt or malicious site responses,
+// so the evaluation algorithms surface them as query errors matching
+// errors.Is(err, ErrInconsistent) — never as panics of a serving process.
+var ErrInconsistent = errors.New("boolexpr: inconsistent bindings")
 
 // Env is a (partial) binding of variables to formulas. It is the vehicle of
 // unification: the coordinator binds the variables a site introduced for a
@@ -18,34 +29,49 @@ func NewEnv() *Env { return &Env{m: make(map[Var]*Formula)} }
 // Len returns the number of bound variables.
 func (e *Env) Len() int { return len(e.m) }
 
-// Bind binds v to f. Rebinding a variable to a different formula is a
-// programming error in the evaluation algorithms and panics loudly rather
-// than silently corrupting an answer.
-func (e *Env) Bind(v Var, f *Formula) {
+// Bind binds v to f. Rebinding a variable to a different formula means
+// two parties disagree about the same vector entry — on the coordinator,
+// a corrupt site response — and returns an error wrapping ErrInconsistent
+// rather than silently corrupting an answer.
+func (e *Env) Bind(v Var, f *Formula) error {
 	if v == NoVar {
-		panic("boolexpr: Bind(NoVar)")
+		return fmt.Errorf("%w: Bind(NoVar)", ErrInconsistent)
 	}
 	if old, ok := e.m[v]; ok && !Equal(old, f) {
-		panic(fmt.Sprintf("boolexpr: rebinding x%d from %v to %v", v, old, f))
+		return fmt.Errorf("%w: rebinding x%d from %v to %v", ErrInconsistent, v, old, f)
 	}
 	e.m[v] = f
+	return nil
 }
 
-// BindConst binds v to the constant b.
-func (e *Env) BindConst(v Var, b bool) { e.Bind(v, Const(b)) }
+// MustBind is Bind for call sites whose variables are fresh by
+// construction (allocator-issued, never previously bound), where a
+// conflict is a programming error and not a data condition: it panics on
+// the error Bind would return.
+func (e *Env) MustBind(v Var, f *Formula) {
+	if err := e.Bind(v, f); err != nil {
+		panic(err)
+	}
+}
+
+// BindConst binds v to the constant b, with Bind's conflict semantics.
+func (e *Env) BindConst(v Var, b bool) error { return e.Bind(v, Const(b)) }
 
 // Lookup returns the binding of v, or nil when unbound.
 func (e *Env) Lookup(v Var) *Formula { return e.m[v] }
 
-// Merge copies all bindings of other into e. Conflicting bindings panic,
-// matching Bind.
-func (e *Env) Merge(other *Env) {
+// Merge copies all bindings of other into e, returning the first conflict
+// as an error wrapping ErrInconsistent, matching Bind.
+func (e *Env) Merge(other *Env) error {
 	if other == nil {
-		return
+		return nil
 	}
 	for v, f := range other.m {
-		e.Bind(v, f)
+		if err := e.Bind(v, f); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Resolve substitutes bindings into f, transitively following variable
@@ -73,7 +99,12 @@ func (e *Env) resolve(f *Formula, memo map[*Formula]*Formula, onPath map[Var]boo
 			out = f
 		} else {
 			if onPath[f.v] {
-				panic(fmt.Sprintf("boolexpr: cyclic binding through x%d", f.v))
+				// Resolve's recursive shape cannot thread an error without
+				// taxing every frame of the hot path; it panics with an
+				// ErrInconsistent-wrapping error value that the engine's
+				// recovery boundary turns back into a typed query error.
+				//paxlint:allow nopanic(typed ErrInconsistent value; recovered at the engine boundary into a query error)
+				panic(fmt.Errorf("%w: cyclic binding through x%d", ErrInconsistent, f.v))
 			}
 			onPath[f.v] = true
 			out = e.resolve(bound, memo, onPath)
@@ -92,7 +123,10 @@ func (e *Env) resolve(f *Formula, memo map[*Formula]*Formula, onPath map[Var]boo
 			out = Or(kids...)
 		}
 	default:
-		panic("boolexpr: corrupt formula")
+		// Unreachable for formulas built through this package's
+		// constructors; same recovery contract as the cycle panic above.
+		//paxlint:allow nopanic(typed ErrInconsistent value; recovered at the engine boundary into a query error)
+		panic(fmt.Errorf("%w: corrupt formula op %d", ErrInconsistent, f.op))
 	}
 	// Memoization is only safe for subterms that do not depend on the
 	// variable path, which holds because bindings are acyclic; on the rare
@@ -108,7 +142,7 @@ func (e *Env) MustResolveConst(f *Formula) bool {
 	r := e.Resolve(f)
 	val, ok := r.IsConst()
 	if !ok {
-		panic(fmt.Sprintf("boolexpr: formula not ground after resolution: %v", r))
+		panic(fmt.Errorf("%w: formula not ground after resolution: %v", ErrInconsistent, r))
 	}
 	return val
 }

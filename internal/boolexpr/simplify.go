@@ -136,6 +136,7 @@ func (s *Simplifier) Simplify(f *Formula) *Formula {
 			s.memo[cur] = r
 			deliver(r)
 		default:
+			//paxlint:allow nopanic(unreachable: the op switch is exhaustive for constructor-built formulas)
 			panic("boolexpr: corrupt formula")
 		}
 	}

@@ -66,6 +66,7 @@ func EncodedSize(f *Formula) int {
 			n += 1 + wirefmt.UvarintLen(uint64(len(cur.kids)))
 			stack = append(stack, cur.kids...)
 		default:
+			//paxlint:allow nopanic(unreachable: encode walks constructor-built formulas; decode is error-based)
 			panic("boolexpr: corrupt formula")
 		}
 	}
@@ -115,6 +116,7 @@ func AppendEncode(dst []byte, f *Formula) []byte {
 				stack[top].done = true
 			}
 		default:
+			//paxlint:allow nopanic(unreachable: encode walks constructor-built formulas; decode is error-based)
 			panic("boolexpr: corrupt formula")
 		}
 	}

@@ -95,6 +95,7 @@ func RegisterBinary(factory func() BinaryMessage) {
 	m := factory()
 	tag := m.WireTag()
 	if tag == 0 {
+		//paxlint:allow nopanic(init-time registration: a tag collision must fail the process before it serves)
 		panic("dist: RegisterBinary: tag 0 is reserved for nil messages")
 	}
 	t := reflect.TypeOf(m)
@@ -104,6 +105,7 @@ func RegisterBinary(factory func() BinaryMessage) {
 		if prev == t {
 			return
 		}
+		//paxlint:allow nopanic(init-time registration: a tag collision must fail the process before it serves)
 		panic(fmt.Sprintf("dist: RegisterBinary: tag %d already registered to %v, cannot register %v", tag, prev, t))
 	}
 	binaryRegistry.factory[tag] = factory

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -65,7 +66,7 @@ func (r *CacheBenchReport) String() string {
 // cold and a warm pass; throughput then measures what memoizing the
 // qualifier pass is worth end to end (the cached variant answers Stage 1
 // with zero tree traversal on every repetition).
-func CacheBench(cfg Config) (*CacheBenchReport, error) {
+func CacheBench(ctx context.Context, cfg Config) (*CacheBenchReport, error) {
 	cfg = cfg.withDefaults()
 	cal := xmark.Calibrate()
 	ft, err := ft1(cfg, 4, cfg.paperMB(4), cal)
@@ -100,7 +101,7 @@ func CacheBench(cfg Config) (*CacheBenchReport, error) {
 		// second pass also leaves the caches warm.
 		for pass := 0; pass < 2; pass++ {
 			for _, q := range queries {
-				r, err := eng.Run(q, pax.Options{Algorithm: pax.PaX3, Annotations: true})
+				r, err := eng.RunContext(ctx, q, pax.Options{Algorithm: pax.PaX3, Annotations: true})
 				if err != nil {
 					shutdown()
 					return nil, fmt.Errorf("harness: cache bench %s: %w", q, err)
@@ -117,7 +118,7 @@ func CacheBench(cfg Config) (*CacheBenchReport, error) {
 		br := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]
-				if _, err := eng.Run(q, pax.Options{Algorithm: pax.PaX3, Annotations: true}); err != nil {
+				if _, err := eng.RunContext(ctx, q, pax.Options{Algorithm: pax.PaX3, Annotations: true}); err != nil {
 					b.Fatal(err)
 				}
 			}

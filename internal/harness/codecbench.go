@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -55,7 +56,7 @@ func (r *CodecBenchReport) String() string {
 // Q1–Q4 under PaX3 and PaX2. The Local transport runs every payload
 // through the real wire codec, so bytes/query match a TCP deployment
 // while throughput measures codec CPU, not loopback sockets.
-func CodecBench(cfg Config) (*CodecBenchReport, error) {
+func CodecBench(ctx context.Context, cfg Config) (*CodecBenchReport, error) {
 	cfg = cfg.withDefaults()
 	cal := xmark.Calibrate()
 	ft, err := ft1(cfg, 4, cfg.paperMB(4), cal)
@@ -85,7 +86,7 @@ func CodecBench(cfg Config) (*CodecBenchReport, error) {
 		var sent, recv int64
 		for _, q := range queries {
 			for _, alg := range []pax.Algorithm{pax.PaX3, pax.PaX2} {
-				r, err := eng.Run(q, pax.Options{Algorithm: alg, Annotations: true})
+				r, err := eng.RunContext(ctx, q, pax.Options{Algorithm: alg, Annotations: true})
 				if err != nil {
 					return nil, fmt.Errorf("harness: codec bench %s: %w", q, err)
 				}
@@ -102,7 +103,7 @@ func CodecBench(cfg Config) (*CodecBenchReport, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]
-				if _, err := eng.Run(q, pax.Options{Algorithm: pax.PaX2, Annotations: true}); err != nil {
+				if _, err := eng.RunContext(ctx, q, pax.Options{Algorithm: pax.PaX2, Annotations: true}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -47,13 +48,13 @@ func (r *LoadReport) String() string {
 // cfg.SiteParallelism (via ConcurrentLoadParallelism) bounds that
 // fan-out, letting paxbench compare parallel against sequential sites on
 // the same workload.
-func ConcurrentLoad(cfg Config, workers, perWorker int) (*LoadReport, error) {
-	return ConcurrentLoadParallelism(cfg, workers, perWorker, 0)
+func ConcurrentLoad(ctx context.Context, cfg Config, workers, perWorker int) (*LoadReport, error) {
+	return ConcurrentLoadParallelism(ctx, cfg, workers, perWorker, 0)
 }
 
 // ConcurrentLoadParallelism is ConcurrentLoad with an explicit per-site
 // fragment-evaluation parallelism (0 = GOMAXPROCS, 1 = sequential).
-func ConcurrentLoadParallelism(cfg Config, workers, perWorker, siteParallelism int) (*LoadReport, error) {
+func ConcurrentLoadParallelism(ctx context.Context, cfg Config, workers, perWorker, siteParallelism int) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
 	if workers < 1 {
 		workers = 1
@@ -96,7 +97,7 @@ func ConcurrentLoadParallelism(cfg Config, workers, perWorker, siteParallelism i
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				opts := pax.Options{Algorithm: pax.PaX3, Annotations: i%2 == 1}
-				res, err := eng.Run(queries[(w+i)%len(queries)], opts)
+				res, err := eng.RunContext(ctx, queries[(w+i)%len(queries)], opts)
 				mu.Lock()
 				if err != nil {
 					rep.Errors++

@@ -1,12 +1,15 @@
 package harness
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestConcurrentLoadSmall runs the serving-load harness at CI scale: a
 // handful of workers over a real TCP deployment, every Result checked
 // against the per-query visit bound.
 func TestConcurrentLoadSmall(t *testing.T) {
-	rep, err := ConcurrentLoad(Config{Scale: 0.01, Seed: 1}, 4, 3)
+	rep, err := ConcurrentLoad(context.Background(), Config{Scale: 0.01, Seed: 1}, 4, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

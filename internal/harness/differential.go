@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -196,7 +197,7 @@ func visitBound(alg pax.Algorithm) int {
 // visit bound on every single Result. Errors are environmental (failed
 // fragmentation, transport setup); differential failures are reported in
 // the DiffResult so a sweep can aggregate them.
-func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
+func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffResult, error) {
 	if opts.Queries <= 0 {
 		opts.Queries = 5
 	}
@@ -303,7 +304,7 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 	// visit counts and byte totals — whether the twin's Stage 1 was a
 	// cache miss, a hit, or a post-eviction re-miss.
 	cmpCached := func(name, query string, alg pax.Algorithm, ann bool, want *pax.Result, ce *pax.Engine) {
-		got, err := ce.Run(query, pax.Options{Algorithm: alg, Annotations: ann})
+		got, err := ce.RunContext(ctx, query, pax.Options{Algorithm: alg, Annotations: ann})
 		res.CacheCases++
 		if err != nil {
 			res.CacheDiffs++
@@ -348,7 +349,7 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 		for _, alg := range []pax.Algorithm{pax.PaX3, pax.PaX2} {
 			for _, ann := range []bool{false, true} {
 				popts := pax.Options{Algorithm: alg, Annotations: ann}
-				got, err := eng.Run(query, popts)
+				got, err := eng.RunContext(ctx, query, popts)
 				if err != nil {
 					res.Mismatches++
 					fail("seed %d %s %v(XA=%v) %q: %v", seed, opts.Transport, alg, ann, query, err)
@@ -374,7 +375,7 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 					}
 				}
 				if seqEng != nil {
-					seq, err := seqEng.Run(query, popts)
+					seq, err := seqEng.RunContext(ctx, query, popts)
 					if err != nil {
 						res.ParallelDiffs++
 						fail("seed %d %s %v(XA=%v) %q: sequential twin failed: %v", seed, opts.Transport, alg, ann, query, err)
@@ -402,7 +403,7 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 					}
 				}
 				for _, tw := range twins {
-					tr, err := tw.eng.Run(query, popts)
+					tr, err := tw.eng.RunContext(ctx, query, popts)
 					if err != nil {
 						res.CodecDiffs++
 						fail("seed %d %s %v(XA=%v) %q: %s twin failed: %v", seed, opts.Transport, alg, ann, query, tw.name, err)
@@ -441,10 +442,10 @@ func RunDifferential(seed int64, opts DiffOptions) (*DiffResult, error) {
 }
 
 // DifferentialSweep runs seeds [base, base+n) and merges the results.
-func DifferentialSweep(base int64, n int, opts DiffOptions) (*DiffResult, error) {
+func DifferentialSweep(ctx context.Context, base int64, n int, opts DiffOptions) (*DiffResult, error) {
 	total := &DiffResult{}
 	for i := 0; i < n; i++ {
-		r, err := RunDifferential(base+int64(i), opts)
+		r, err := RunDifferential(ctx, base+int64(i), opts)
 		if err != nil {
 			return total, err
 		}

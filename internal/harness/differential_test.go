@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 )
 
@@ -44,7 +45,7 @@ func requireCacheCorpus(t *testing.T, res *DiffResult) {
 // warm and eviction-pressure site-cache twins (answers, visit counts and
 // byte totals must match the uncached primary exactly).
 func TestDifferentialLocalSeedCorpus(t *testing.T) {
-	res, err := DifferentialSweep(1, 25, DiffOptions{
+	res, err := DifferentialSweep(context.Background(), 1, 25, DiffOptions{
 		Transport:       DiffLocal,
 		CompareParallel: true,
 		CompareCodecs:   true,
@@ -65,7 +66,7 @@ func TestDifferentialLocalSeedCorpus(t *testing.T) {
 // per-frame accounting are in the loop, with the gob, no-simplify and
 // site-cache twins deployed as their own TCP clusters.
 func TestDifferentialTCPSeedCorpus(t *testing.T) {
-	res, err := DifferentialSweep(1, 25, DiffOptions{Transport: DiffTCP, CompareCodecs: true, CompareCache: true})
+	res, err := DifferentialSweep(context.Background(), 1, 25, DiffOptions{Transport: DiffTCP, CompareCodecs: true, CompareCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestDifferentialExtendedSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("extended differential sweep skipped with -short")
 	}
-	res, err := DifferentialSweep(1000, 100, DiffOptions{
+	res, err := DifferentialSweep(context.Background(), 1000, 100, DiffOptions{
 		Transport:       DiffLocal,
 		CompareParallel: true,
 		CompareCodecs:   true,
@@ -93,7 +94,7 @@ func TestDifferentialExtendedSweep(t *testing.T) {
 	}
 	requireClean(t, res)
 
-	tcpRes, err := DifferentialSweep(2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true, CompareCache: true})
+	tcpRes, err := DifferentialSweep(context.Background(), 2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true, CompareCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"paxq/internal/pax"
@@ -11,7 +12,7 @@ func TestBuildFT1Engine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run(Q1, pax.Options{Algorithm: pax.PaX2})
+	res, err := eng.RunContext(context.Background(), Q1, pax.Options{Algorithm: pax.PaX2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestBuildFT2Engine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run(Q3, pax.Options{Algorithm: pax.PaX2, Annotations: true})
+	res, err := eng.RunContext(context.Background(), Q3, pax.Options{Algorithm: pax.PaX2, Annotations: true})
 	if err != nil {
 		t.Fatal(err)
 	}

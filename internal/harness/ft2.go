@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"paxq/internal/fragment"
@@ -131,7 +132,7 @@ func FT2Sizes(cfg Config) ([]int, error) {
 // size) and 11(a–d) (total computation vs data size) in one sweep: both
 // metrics come from the same runs, exactly as in the paper where
 // Experiment 3 "uses exactly the same setting".
-func Experiment23(cfg Config) (fig10, fig11 []*Figure, err error) {
+func Experiment23(ctx context.Context, cfg Config) (fig10, fig11 []*Figure, err error) {
 	cfg = cfg.withDefaults()
 	cal := xmark.Calibrate()
 
@@ -172,7 +173,7 @@ func Experiment23(cfg Config) (fig10, fig11 []*Figure, err error) {
 		eng := engineFor(ft)
 		for i, s := range specs {
 			for v, vr := range s.vars {
-				m, err := measure(eng, s.query, vr, cfg.Runs)
+				m, err := measure(ctx, eng, s.query, vr, cfg.Runs)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -188,7 +189,7 @@ func Experiment23(cfg Config) (fig10, fig11 []*Figure, err error) {
 // PaX2 traffic vs NaiveCentralized traffic as |T| grows with the fragment
 // count fixed. PaX traffic stays flat (O(|Q|·|FT|+|ans|)); naive traffic
 // grows linearly (Θ(|T|)).
-func TrafficExperiment(cfg Config) (*Figure, error) {
+func TrafficExperiment(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	cal := xmark.Calibrate()
 	fig := &Figure{ID: "A1", Title: "Network traffic vs data size (empty-answer query //zzz)",
@@ -202,12 +203,12 @@ func TrafficExperiment(cfg Config) (*Figure, error) {
 			return nil, err
 		}
 		eng := engineFor(ft)
-		m, err := measure(eng, "//zzz", pax2NA, 1)
+		m, err := measure(ctx, eng, "//zzz", pax2NA, 1)
 		if err != nil {
 			return nil, err
 		}
 		paxS.Points = append(paxS.Points, Point{X: units, Y: float64(m.bytes)})
-		mn, err := measure(eng, "//zzz", variant{"naive", pax.Options{Algorithm: pax.Naive}}, 1)
+		mn, err := measure(ctx, eng, "//zzz", variant{"naive", pax.Options{Algorithm: pax.Naive}}, 1)
 		if err != nil {
 			return nil, err
 		}

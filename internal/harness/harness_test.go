@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -24,7 +25,7 @@ func TestDefaultsApplied(t *testing.T) {
 }
 
 func TestExperiment1Shapes(t *testing.T) {
-	figA, figB, err := Experiment1(tinyConfig())
+	figA, figB, err := Experiment1(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestExperiment1Shapes(t *testing.T) {
 }
 
 func TestExperiment23Shapes(t *testing.T) {
-	fig10, fig11, err := Experiment23(tinyConfig())
+	fig10, fig11, err := Experiment23(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestFT2SizesRatios(t *testing.T) {
 func TestTrafficExperimentShape(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Steps = 3
-	fig, err := TrafficExperiment(cfg)
+	fig, err := TrafficExperiment(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -205,8 +205,12 @@ func ResolveQualVars(roots map[fragment.FragID]RootVecs, vs VarScheme) (*boolexp
 			if qv.HasVars() || qdv.HasVars() {
 				return nil, fmt.Errorf("parbox: fragment %d entry %d not ground after unification", id, p)
 			}
-			env.Bind(vs.QV(id, p), qv)
-			env.Bind(vs.QDV(id, p), qdv)
+			if err := env.Bind(vs.QV(id, p), qv); err != nil {
+				return nil, fmt.Errorf("parbox: unifying fragment %d entry %d: %w", id, p, err)
+			}
+			if err := env.Bind(vs.QDV(id, p), qdv); err != nil {
+				return nil, fmt.Errorf("parbox: unifying fragment %d entry %d: %w", id, p, err)
+			}
 		}
 	}
 	return env, nil

@@ -12,21 +12,16 @@ import (
 	"paxq/internal/xpath"
 )
 
-// RunBoolean evaluates a Boolean query (a bare qualifier such as
+// RunBooleanContext evaluates a Boolean query (a bare qualifier such as
 // "[//stock/code = 'GOOG']") with the distributed ParBoX protocol of
 // [Buneman et al., VLDB 2006], which the paper's Stage 1 extends: every
 // site is visited exactly once — the qualifier pass — and the coordinator
 // unifies the returned residual vectors to a single truth value. This is
 // the one-visit guarantee ParBoX offers and PaX3/PaX2 generalize.
 //
-// Like Run, RunBoolean is safe for concurrent use and attributes costs to
-// its own Result alone.
-func (e *Engine) RunBoolean(query string, opts Options) (bool, *Result, error) {
-	return e.RunBooleanContext(context.Background(), query, opts)
-}
-
-// RunBooleanContext is RunBoolean bounded by a context, with the same
-// admission-control and deadline semantics as RunContext.
+// Like RunContext — whose admission-control and deadline semantics it
+// shares — it is safe for concurrent use and attributes costs to its own
+// Result alone.
 func (e *Engine) RunBooleanContext(ctx context.Context, query string, opts Options) (truth bool, res *Result, err error) {
 	p, perr := e.plan(query, false)
 	if perr != nil {
@@ -43,7 +38,7 @@ func (e *Engine) RunBooleanContext(ctx context.Context, query string, opts Optio
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			truth, res, err = false, nil, fmt.Errorf("pax: inconsistent site data for %q: %v", query, r)
+			truth, res, err = false, nil, inconsistentError(query, r)
 		}
 	}()
 	usage := dist.NewMetrics()

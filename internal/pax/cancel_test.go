@@ -1,0 +1,36 @@
+package pax
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"paxq/internal/fragment"
+	"paxq/internal/testutil"
+)
+
+// TestCancelledParentContextAborts locks in the context-propagation
+// guarantee the ctxflow analyzer enforces statically: with the blocking
+// Run/RunBoolean wrappers gone, every evaluation receives the caller's
+// context, so a cancellation that happened before (or during) the query
+// must abort both the selecting and the Boolean paths with
+// context.Canceled — never run to completion against a dead caller.
+func TestCancelledParentContextAborts(t *testing.T) {
+	tr := testutil.PaperTree()
+	eng, _, err := cluster(tr, fragment.RandomCuts(tr, 4, 7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := eng.RunContext(ctx, "//stock/code", Options{Algorithm: PaX2}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext under a cancelled parent = %v, want context.Canceled", err)
+	}
+	if _, err := eng.RunContext(ctx, "//stock/code", Options{Algorithm: PaX3, Annotations: true}); !errors.Is(err, context.Canceled) {
+		t.Errorf("PaX3 RunContext under a cancelled parent = %v, want context.Canceled", err)
+	}
+	if _, _, err := eng.RunBooleanContext(ctx, `[//stock/code = "GOOG"]`, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunBooleanContext under a cancelled parent = %v, want context.Canceled", err)
+	}
+}

@@ -182,18 +182,13 @@ func (e *Engine) plan(query string, annotations bool) (*plan, error) {
 	return p, nil
 }
 
-// Run evaluates query under the given options. Runs may be issued
+// RunContext evaluates query under the given options, bounded by ctx: the
+// deadline (or cancellation) covers admission queueing and every site
+// round trip, and is propagated through the transport so a slow or hung
+// site fails the query instead of wedging the caller. Runs may be issued
 // concurrently; each Result's cost profile is attributed to its own query
 // alone. Malformed or inconsistent site responses surface as errors, never
-// as coordinator panics.
-func (e *Engine) Run(query string, opts Options) (*Result, error) {
-	return e.RunContext(context.Background(), query, opts)
-}
-
-// RunContext is Run bounded by a context: the deadline (or cancellation)
-// covers admission queueing and every site round trip, and is propagated
-// through the transport so a slow or hung site fails the query instead of
-// wedging the caller. Under admission control, a full engine sheds or
+// as coordinator panics. Under admission control, a full engine sheds or
 // queues per configuration; both outcomes surface as ErrOverloaded.
 func (e *Engine) RunContext(ctx context.Context, query string, opts Options) (res *Result, err error) {
 	p, perr := e.plan(query, opts.Annotations)
@@ -205,13 +200,12 @@ func (e *Engine) RunContext(ctx context.Context, query string, opts Options) (re
 		return nil, aerr
 	}
 	defer release()
-	// Unification and resolution panic on invariant violations that only
-	// corrupt remote data can produce (cyclic bindings, conflicting
-	// rebindings). A serving coordinator must degrade them to a failed
-	// query, not die.
+	// Resolution panics on invariant violations that only corrupt remote
+	// data can produce (cyclic binding chains). A serving coordinator must
+	// degrade them to a failed query, not die.
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("pax: inconsistent site data for %q: %v", query, r)
+			res, err = nil, inconsistentError(query, r)
 		}
 	}()
 	usage := dist.NewMetrics()
@@ -391,11 +385,24 @@ func resolveContexts(env *boolexpr.Env, vs parbox.VarScheme, contexts []WireCont
 				return nil, fmt.Errorf("pax: context entry %d of fragment %d not ground: %v", i, fid, r)
 			}
 			ground[i] = val
-			env.BindConst(vs.SV(fid, i), val)
+			if err := env.BindConst(vs.SV(fid, i), val); err != nil {
+				return nil, fmt.Errorf("pax: context entry %d of fragment %d: %w", i, fid, err)
+			}
 		}
 		out[fid] = ground
 	}
 	return out, nil
+}
+
+// inconsistentError converts a recovered unification panic into a typed
+// query error. boolexpr panics with error values wrapping
+// boolexpr.ErrInconsistent; preserving their chain here lets callers
+// classify corrupt-site failures with errors.Is.
+func inconsistentError(query string, r any) error {
+	if e, ok := r.(error); ok {
+		return fmt.Errorf("pax: inconsistent site data for %q: %w", query, e)
+	}
+	return fmt.Errorf("pax: inconsistent site data for %q: %v", query, r)
 }
 
 // respAs asserts the response type of one site, degrading a mismatch — a
@@ -622,8 +629,12 @@ func (e *Engine) runPaX2(ctx context.Context, query string, p *plan, opts Option
 			continue // pruned fragment: its variables are never consumed
 		}
 		for p := 0; p < vs.NumPreds; p++ {
-			env.Bind(vs.QV(id, p), env.Resolve(rv.QV[p]))
-			env.Bind(vs.QDV(id, p), env.Resolve(rv.QDV[p]))
+			if err := env.Bind(vs.QV(id, p), env.Resolve(rv.QV[p])); err != nil {
+				return nil, fmt.Errorf("pax: unifying qualifier vector of fragment %d: %w", id, err)
+			}
+			if err := env.Bind(vs.QDV(id, p), env.Resolve(rv.QDV[p])); err != nil {
+				return nil, fmt.Errorf("pax: unifying qualifier vector of fragment %d: %w", id, err)
+			}
 		}
 	}
 	ground, err := resolveContexts(env, vs, contexts)

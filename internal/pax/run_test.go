@@ -1,0 +1,16 @@
+package pax
+
+import "context"
+
+// Test-only blocking wrappers. Library code must thread a caller context
+// (the ctxflow analyzer enforces it), but the package's own tests run
+// hundreds of queries where a fresh root context per call is exactly
+// right; these shims keep them readable.
+
+func (e *Engine) Run(query string, opts Options) (*Result, error) {
+	return e.RunContext(context.Background(), query, opts)
+}
+
+func (e *Engine) RunBoolean(query string, opts Options) (bool, *Result, error) {
+	return e.RunBooleanContext(context.Background(), query, opts)
+}

@@ -182,7 +182,9 @@ func evalCombined(
 		sdvAt := func(p int) *boolexpr.Formula { return sdvRow[p] }
 		row := xpath.NodePredRow[*boolexpr.Formula](alg, c, n, qcvAt, sdvAt)
 		for e, v := range qzVars {
-			localEnv.Bind(v, xpath.EvalQExpr[*boolexpr.Formula](alg, c.Sel[e].Qual, n, qcvAt, sdvAt))
+			// Placeholders are allocator-fresh per node: a conflict here is
+			// impossible by construction, not a data condition.
+			localEnv.MustBind(v, xpath.EvalQExpr[*boolexpr.Formula](alg, c.Sel[e].Qual, n, qcvAt, sdvAt))
 		}
 		qdvRow := make([]*boolexpr.Formula, nP)
 		for p := 0; p < nP; p++ {

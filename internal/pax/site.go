@@ -164,20 +164,31 @@ func (s *Site) FragIDs() []fragment.FragID {
 // Handler returns the dist.Handler serving this site.
 func (s *Site) Handler() dist.Handler {
 	return func(req any) (any, error) {
-		switch r := req.(type) {
-		case *QualStageReq:
-			return s.handleQual(r)
-		case *SelStageReq:
-			return s.handleSel(r)
-		case *CombinedStageReq:
-			return s.handleCombined(r)
-		case *AnsStageReq:
-			return s.handleCollect(r)
-		case *FetchReq:
-			return s.handleFetch()
+		resp, err := s.handle(req)
+		if err != nil {
+			// The stage handlers return concrete response pointers; letting
+			// a typed nil escape into the any-valued transport plane would
+			// make resp != nil at the metering layer and crash it.
+			return nil, err
 		}
-		return nil, fmt.Errorf("pax: site %d: unknown request type %T", s.id, req)
+		return resp, nil
 	}
+}
+
+func (s *Site) handle(req any) (any, error) {
+	switch r := req.(type) {
+	case *QualStageReq:
+		return s.handleQual(r)
+	case *SelStageReq:
+		return s.handleSel(r)
+	case *CombinedStageReq:
+		return s.handleCombined(r)
+	case *AnsStageReq:
+		return s.handleCollect(r)
+	case *FetchReq:
+		return s.handleFetch()
+	}
+	return nil, fmt.Errorf("pax: site %d: unknown request type %T", s.id, req)
 }
 
 func (s *Site) getSession(qid QueryID, query string, numFrags int32) (*session, error) {
@@ -409,8 +420,12 @@ func virtualEnv(vs parbox.VarScheme, vals []WireBoolVals) (*boolexpr.Env, error)
 			if v.Known != nil && !v.Known[p] {
 				continue
 			}
-			env.BindConst(vs.QV(v.Frag, p), v.QV[p])
-			env.BindConst(vs.QDV(v.Frag, p), v.QDV[p])
+			if err := env.BindConst(vs.QV(v.Frag, p), v.QV[p]); err != nil {
+				return nil, fmt.Errorf("pax: qualifier values for fragment %d: %w", v.Frag, err)
+			}
+			if err := env.BindConst(vs.QDV(v.Frag, p), v.QDV[p]); err != nil {
+				return nil, fmt.Errorf("pax: qualifier values for fragment %d: %w", v.Frag, err)
+			}
 		}
 	}
 	return env, nil
@@ -557,7 +572,9 @@ func (s *Site) handleCollect(req *AnsStageReq) (*AnsStageResp, error) {
 			return nil, fmt.Errorf("pax: init vector for fragment %d has %d entries, want %d", in.Frag, len(in.SV), len(sess.c.Sel))
 		}
 		for i, b := range in.SV {
-			env.BindConst(sess.vs.SV(in.Frag, i), b)
+			if err := env.BindConst(sess.vs.SV(in.Frag, i), b); err != nil {
+				return nil, fmt.Errorf("pax: init vector for fragment %d: %w", in.Frag, err)
+			}
 		}
 	}
 	resp := &AnsStageResp{}

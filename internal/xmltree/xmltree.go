@@ -74,10 +74,12 @@ func NewText(data string) *Node {
 // algorithm depends on them.
 func (n *Node) Append(children ...*Node) *Node {
 	if n.Kind != Element {
+		//paxlint:allow nopanic(documented eager structural invariant of the in-memory builder API)
 		panic("xmltree: appending children to a text node")
 	}
 	for _, c := range children {
 		if c.Parent != nil {
+			//paxlint:allow nopanic(documented eager structural invariant of the in-memory builder API)
 			panic("xmltree: node already has a parent")
 		}
 		c.Parent = n
@@ -89,6 +91,7 @@ func (n *Node) Append(children ...*Node) *Node {
 // SetAttr appends an attribute to an element node.
 func (n *Node) SetAttr(name, value string) *Node {
 	if n.Kind != Element {
+		//paxlint:allow nopanic(documented eager structural invariant of the in-memory builder API)
 		panic("xmltree: attribute on a text node")
 	}
 	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
@@ -176,9 +179,11 @@ type Tree struct {
 // NewTree wraps root and assigns preorder IDs to every node.
 func NewTree(root *Node) *Tree {
 	if root == nil {
+		//paxlint:allow nopanic(documented eager structural invariant of the in-memory builder API)
 		panic("xmltree: nil root")
 	}
 	if root.Kind != Element {
+		//paxlint:allow nopanic(documented eager structural invariant of the in-memory builder API)
 		panic("xmltree: root must be an element")
 	}
 	t := &Tree{Root: root}

@@ -70,5 +70,6 @@ func normalCond(c Cond) string {
 		}
 		return NormalForm(c.Path) + "/" + test
 	}
+	//paxlint:allow nopanic(unreachable: the parser produces only the condition kinds handled above)
 	panic("xpath: unknown condition")
 }

@@ -361,6 +361,7 @@ func (o QueryOptions) toPax() (pax.Options, error) {
 // answers plus the evaluation's cost profile. Safe for concurrent use;
 // the returned Stats cover this evaluation alone.
 func (c *Cluster) Query(query string, opts QueryOptions) ([]Answer, *Stats, error) {
+	//paxlint:allow ctxflow(public blocking wrapper: Query's documented contract is an unbounded evaluation; QueryContext is the flowed form)
 	return c.QueryContext(context.Background(), query, opts)
 }
 
@@ -416,7 +417,14 @@ func (c *Cluster) Evaluate(query string) ([]Answer, error) {
 // single-pass Boolean algorithm the paper's Stage 1 extends. Every site is
 // visited at most once.
 func (c *Cluster) EvaluateBool(query string) (bool, error) {
-	ok, _, err := c.engine.RunBoolean(query, pax.Options{})
+	//paxlint:allow ctxflow(public blocking wrapper: EvaluateBoolContext is the flowed form)
+	return c.EvaluateBoolContext(context.Background(), query)
+}
+
+// EvaluateBoolContext is EvaluateBool bounded by a context, with the same
+// deadline and admission-control semantics as QueryContext.
+func (c *Cluster) EvaluateBoolContext(ctx context.Context, query string) (bool, error) {
+	ok, _, err := c.engine.RunBooleanContext(ctx, query, pax.Options{})
 	return ok, err
 }
 
@@ -451,6 +459,7 @@ type TransportStats struct {
 // TransportStats returns a snapshot of the transport's lifetime counters.
 // Safe for concurrent use with in-flight queries.
 func (c *Cluster) TransportStats() TransportStats {
+	//paxlint:allow ledger(read-only snapshot of the lifetime totals for monitoring; never resets, never feeds per-query Stats)
 	snap := c.tr.Metrics().Snapshot()
 	out := TransportStats{
 		BytesSent:     snap.Sent,

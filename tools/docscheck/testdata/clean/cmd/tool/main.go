@@ -1,0 +1,9 @@
+// Command tool is the fixture binary; its one flag is documented in
+// cmd/README.md, so checkFlagCoverage must report nothing.
+package main
+
+import "flag"
+
+var seed = flag.Int64("seed", 1, "fixture flag")
+
+func main() { flag.Parse(); _ = seed }

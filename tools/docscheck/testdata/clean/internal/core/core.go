@@ -1,0 +1,3 @@
+// Package core exists so the fixture's internal/ directory is non-empty;
+// checkPackageMap only looks at directory names.
+package core

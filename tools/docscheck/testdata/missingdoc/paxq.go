@@ -1,0 +1,8 @@
+// Package paxq is the fixture for the missing-doc-comment case: one
+// exported function below has no doc comment and must be flagged.
+package paxq
+
+// Documented is fine and must not be flagged.
+func Documented() {}
+
+func Undocumented() {}

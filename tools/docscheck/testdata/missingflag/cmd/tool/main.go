@@ -1,0 +1,8 @@
+// Command tool defines a flag the fixture docs never mention.
+package main
+
+import "flag"
+
+var verbose = flag.Bool("verbose", false, "fixture flag missing from the docs")
+
+func main() { flag.Parse(); _ = verbose }

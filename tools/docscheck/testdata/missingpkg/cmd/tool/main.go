@@ -1,0 +1,4 @@
+// Command tool exists so the fixture's cmd/ directory is non-empty.
+package main
+
+func main() {}

@@ -1,0 +1,3 @@
+// Package orphan is present on disk but missing from the fixture's
+// ARCHITECTURE.md package map, which checkPackageMap must flag.
+package orphan

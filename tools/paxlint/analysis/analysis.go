@@ -1,0 +1,164 @@
+// Package analysis is a self-contained, standard-library-only skeleton of
+// the golang.org/x/tools/go/analysis model: an Analyzer inspects one
+// package's syntax through a Pass and reports Diagnostics. The build
+// environment of this repository is offline, so instead of depending on
+// x/tools the repo vendors the minimal slice of the model its own
+// analyzers need — purely syntactic passes over parsed files, a per-line
+// suppression marker, and a deterministic diagnostic ordering.
+//
+// The suppression grammar is
+//
+//	//paxlint:allow <analyzer>(<reason>)
+//
+// placed either on the offending line or on the line directly above it.
+// The reason is mandatory: an allow marker is a reviewed justification,
+// not an off switch, and a marker with an empty reason is itself a
+// diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in allow markers.
+	Name string
+	// Doc is the one-paragraph description printed by the driver.
+	Doc string
+	// Run inspects the pass's package and reports findings via
+	// Pass.Reportf. The error return is for operational failures (never
+	// for findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed syntax to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds every parsed file of the package directory, test files
+	// included; analyzers that exempt tests filter with IsTestFile.
+	Files []*ast.File
+	// PkgPath is the package's import path (e.g. "paxq/internal/pax").
+	// Fixture packages use the path of their testdata/src subdirectory, so
+	// path-sensitive rules are testable.
+	PkgPath string
+	// PkgName is the package name of the non-test files ("main" marks a
+	// command).
+	PkgName string
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Position
+	Message string
+}
+
+// Reportf records a finding against pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether f is a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// IsMainPkg reports whether the pass's package is a command.
+func (p *Pass) IsMainPkg() bool { return p.PkgName == "main" }
+
+// allowMarker matches the suppression grammar. The reason group is
+// deliberately greedy: everything between the first "(" and the last ")"
+// of the marker is the justification.
+var allowMarker = regexp.MustCompile(`^//paxlint:allow\s+([A-Za-z0-9_]+)\((.*)\)\s*$`)
+
+// malformedMarker catches markers that parse as an intent to suppress but
+// violate the grammar (no analyzer name, missing parentheses, ...).
+var malformedMarker = regexp.MustCompile(`^//paxlint:allow\b`)
+
+// allowSet indexes, per file line, the analyzer names allowed on that
+// line. A marker covers its own line and the line below, so both
+//
+//	foo() //paxlint:allow nopanic(reason)
+//
+// and
+//
+//	//paxlint:allow nopanic(reason)
+//	foo()
+//
+// suppress a nopanic finding on foo's line.
+type allowSet map[int]map[string]bool
+
+// collectAllows scans every comment of the pass for allow markers,
+// reporting malformed ones as diagnostics of the driver itself (they are
+// attached to the running analyzer's pass, so every analyzer surfaces
+// them — a broken marker must never silently suppress).
+func collectAllows(p *Pass) allowSet {
+	out := make(allowSet)
+	add := func(line int, name string) {
+		if out[line] == nil {
+			out[line] = make(map[string]bool)
+		}
+		out[line][name] = true
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !malformedMarker.MatchString(text) {
+					continue
+				}
+				m := allowMarker.FindStringSubmatch(text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					p.Reportf(c.Pos(), "malformed paxlint:allow marker (want //paxlint:allow <analyzer>(<reason>) with a non-empty reason): %s", text)
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				add(line, m[1])
+				add(line+1, m[1])
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzer executes a on pass and returns the surviving diagnostics:
+// findings on lines carrying a matching allow marker are suppressed,
+// malformed markers are reported, and the result is ordered by position.
+func RunAnalyzer(a *Analyzer, pass *Pass) ([]Diagnostic, error) {
+	pass.Analyzer = a
+	pass.diags = nil
+	allows := collectAllows(pass)
+	markerDiags := len(pass.diags) // malformed-marker findings are never suppressed
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %v", a.Name, pass.PkgPath, err)
+	}
+	kept := pass.diags[:markerDiags]
+	for _, d := range pass.diags[markerDiags:] {
+		if allows[d.Pos.Line][a.Name] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}

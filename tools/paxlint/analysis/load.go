@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadDir parses every .go file of one package directory into a Pass.
+// pkgPath is the import path attributed to the package (used by
+// path-sensitive rules).
+func LoadDir(fset *token.FileSet, dir, pkgPath string) (*Pass, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pass := &Pass{Fset: fset, PkgPath: pkgPath}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", filepath.Join(dir, e.Name()), err)
+		}
+		pass.Files = append(pass.Files, f)
+		if pass.PkgName == "" && !strings.HasSuffix(e.Name(), "_test.go") {
+			pass.PkgName = f.Name.Name
+		}
+	}
+	if len(pass.Files) == 0 {
+		return nil, nil
+	}
+	if pass.PkgName == "" { // test-only directory
+		pass.PkgName = strings.TrimSuffix(pass.Files[0].Name.Name, "_test")
+	}
+	return pass, nil
+}
+
+// LoadModule walks the module rooted at root (the directory holding
+// go.mod) and returns one Pass per package directory, ordered by import
+// path. modulePath is the module's path from go.mod; testdata trees,
+// hidden directories and vendored code are skipped.
+func LoadModule(root, modulePath string) ([]*Pass, error) {
+	fset := token.NewFileSet()
+	var passes []*Pass
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		pkgPath := modulePath
+		if rel != "." {
+			pkgPath = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		pass, err := LoadDir(fset, path, pkgPath)
+		if err != nil {
+			return err
+		}
+		if pass != nil {
+			passes = append(passes, pass)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(passes, func(i, j int) bool { return passes[i].PkgPath < passes[j].PkgPath })
+	return passes, nil
+}
+
+// ModulePath reads the module path out of a go.mod file.
+func ModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}

@@ -1,0 +1,149 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring (a useful subset
+// of) golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// A fixture package lives under <testdata>/src/<import/path>/ and
+// annotates the lines where diagnostics are expected:
+//
+//	panic("boom") // want `panic in library code`
+//
+// Each string after // want is a regular expression, quoted either with
+// backquotes or double quotes; a line may expect several diagnostics.
+// The test fails on any unexpected diagnostic and on any unmatched
+// expectation, so fixtures express positives and negatives in one tree.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"paxq/tools/paxlint/analysis"
+)
+
+// expectation is one // want regexp, tracked to ensure it matched.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts the quoted regexps of one // want comment tail.
+func parseWants(tail string) ([]string, error) {
+	var out []string
+	for i := 0; i < len(tail); {
+		switch tail[i] {
+		case ' ', '\t':
+			i++
+		case '`':
+			j := strings.IndexByte(tail[i+1:], '`')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", tail)
+			}
+			out = append(out, tail[i+1:i+1+j])
+			i += j + 2
+		case '"':
+			rest := tail[i:]
+			// Find the closing quote of a Go string literal.
+			end := 1
+			for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+				end++
+			}
+			if end >= len(rest) {
+				return nil, fmt.Errorf("unterminated quote in %q", tail)
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want literal %q: %v", rest[:end+1], err)
+			}
+			out = append(out, s)
+			i += end + 1
+		default:
+			return nil, fmt.Errorf("unexpected %q in want comment %q", tail[i], tail)
+		}
+	}
+	return out, nil
+}
+
+// Run loads each fixture package under testdata/src, applies a, and
+// reports mismatches between diagnostics and // want expectations as test
+// errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkg := range pkgPaths {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			dir := filepath.Join(testdata, "src", filepath.FromSlash(pkg))
+			fset := token.NewFileSet()
+			pass, err := analysis.LoadDir(fset, dir, pkg)
+			if err != nil {
+				t.Fatalf("load %s: %v", dir, err)
+			}
+			if pass == nil {
+				t.Fatalf("fixture %s holds no Go files", dir)
+			}
+
+			// Collect expectations per file:line from the files' comments.
+			wants := make(map[string]map[int][]*expectation)
+			for _, f := range pass.Files {
+				for _, cg := range f.Comments {
+					for _, c := range cg.List {
+						m := wantRe.FindStringSubmatch(c.Text)
+						if m == nil {
+							continue
+						}
+						pos := fset.Position(c.Pos())
+						res, err := parseWants(strings.TrimSpace(m[1]))
+						if err != nil {
+							t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+						}
+						for _, r := range res {
+							re, err := regexp.Compile(r)
+							if err != nil {
+								t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, r, err)
+							}
+							if wants[pos.Filename] == nil {
+								wants[pos.Filename] = make(map[int][]*expectation)
+							}
+							wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &expectation{re: re, raw: r})
+						}
+					}
+				}
+			}
+
+			diags, err := analysis.RunAnalyzer(a, pass)
+			if err != nil {
+				t.Fatalf("run %s on %s: %v", a.Name, pkg, err)
+			}
+			for _, d := range diags {
+				exps := wants[d.Pos.Filename][d.Pos.Line]
+				found := false
+				for _, e := range exps {
+					if !e.matched && e.re.MatchString(d.Message) {
+						e.matched = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+				}
+			}
+			for file, lines := range wants {
+				for line, exps := range lines {
+					for _, e := range exps {
+						if !e.matched {
+							t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, e.raw)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"paxq/tools/paxlint/analysistest"
+	"paxq/tools/paxlint/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"paxq/internal/pax",
+		"paxq/cmd/tool",
+	)
+}

@@ -1,0 +1,17 @@
+// Fixture: a command owns its root context, but must still flow it into
+// the transport rather than minting a fresh one at the call site.
+package main
+
+import "context"
+
+type transport interface {
+	Call(ctx context.Context, to int, req any) (any, error)
+}
+
+func run(tr transport) {
+	ctx := context.Background()
+	_, _ = tr.Call(ctx, 1, nil)
+	_, _ = tr.Call(context.Background(), 1, nil) // want `context\.Background\(\) passed directly into Call`
+}
+
+func main() {}

@@ -1,0 +1,23 @@
+// Fixture: root contexts and transport calls in library code.
+package pax
+
+import "context"
+
+type transport interface {
+	Call(ctx context.Context, to int, req any) (any, error)
+}
+
+func bad(tr transport) {
+	ctx := context.Background() // want `context\.Background\(\) in library code`
+	_ = ctx
+	_, _ = tr.Call(context.TODO(), 1, nil) // want `context\.TODO\(\) passed directly into Call` `context\.TODO\(\) in library code`
+}
+
+func good(ctx context.Context, tr transport) {
+	_, _ = tr.Call(ctx, 1, nil)
+}
+
+func allowed() context.Context {
+	//paxlint:allow ctxflow(public blocking wrapper owns its root context)
+	return context.Background()
+}

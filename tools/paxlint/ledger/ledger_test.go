@@ -1,0 +1,15 @@
+package ledger_test
+
+import (
+	"testing"
+
+	"paxq/tools/paxlint/analysistest"
+	"paxq/tools/paxlint/ledger"
+)
+
+func TestLedger(t *testing.T) {
+	analysistest.Run(t, "testdata", ledger.Analyzer,
+		"paxq/internal/pax",
+		"paxq/internal/dist",
+	)
+}

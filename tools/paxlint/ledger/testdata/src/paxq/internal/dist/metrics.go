@@ -1,0 +1,15 @@
+// Fixture: the transport package owns the shared counters, so Metrics()
+// and Reset() are legitimate here. No diagnostics expected.
+package dist
+
+type Metrics struct{}
+
+func (m *Metrics) Reset() {}
+
+type transport struct{ m Metrics }
+
+func (t *transport) Metrics() *Metrics { return &t.m }
+
+func resetCounters(t *transport) {
+	t.Metrics().Reset()
+}

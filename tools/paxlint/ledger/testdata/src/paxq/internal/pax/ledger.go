@@ -1,0 +1,31 @@
+// Fixture: shared-counter access and wall-clock timing in library code.
+package pax
+
+import "time"
+
+type Counters struct{}
+
+func (c *Counters) Reset() {}
+
+type transport interface {
+	Metrics() *Counters
+}
+
+func bad(tr transport, start time.Time) {
+	m := tr.Metrics()         // want `shared transport metrics accessed outside internal/dist`
+	m.Reset()                 // want `Reset\(\) of shared counters outside internal/dist`
+	_ = time.Now().Sub(start) // want `time\.Now\(\)\.Sub\(t\) re-derives a duration from a wall-clock reading`
+}
+
+func wall(a, b time.Time) int64 {
+	return a.UnixNano() - b.UnixNano() // want `UnixNano\(\) difference is wall-clock arithmetic`
+}
+
+func good(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func snapshot(tr transport) *Counters {
+	//paxlint:allow ledger(read-only observability snapshot)
+	return tr.Metrics()
+}

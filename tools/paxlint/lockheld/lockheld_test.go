@@ -1,0 +1,14 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"paxq/tools/paxlint/analysistest"
+	"paxq/tools/paxlint/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, "testdata", lockheld.Analyzer,
+		"paxq/internal/lib",
+	)
+}

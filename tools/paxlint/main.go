@@ -1,0 +1,115 @@
+// Command paxlint is the repository's invariant multichecker: it runs
+// the five analyzers under tools/paxlint/ over every package of the
+// enclosing module and fails the build on any finding.
+//
+// Usage (from anywhere inside the module):
+//
+//	go run ./tools/paxlint          # check the whole module
+//	go run ./tools/paxlint -list    # print the analyzers and exit
+//
+// Diagnostics print as path:line:col: analyzer: message, relative to
+// the module root. Suppression uses reviewed allow markers — see
+// tools/README.md for the //paxlint:allow <analyzer>(<reason>) grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"paxq/tools/paxlint/analysis"
+	"paxq/tools/paxlint/ctxflow"
+	"paxq/tools/paxlint/ledger"
+	"paxq/tools/paxlint/lockheld"
+	"paxq/tools/paxlint/nopanic"
+	"paxq/tools/paxlint/wiretag"
+)
+
+// analyzers is the full invariant suite, in report order.
+var analyzers = []*analysis.Analyzer{
+	wiretag.Analyzer,
+	ledger.Analyzer,
+	ctxflow.Analyzer,
+	nopanic.Analyzer,
+	lockheld.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paxlint:", err)
+		os.Exit(2)
+	}
+	modPath, err := analysis.ModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paxlint:", err)
+		os.Exit(2)
+	}
+	passes, err := analysis.LoadModule(root, modPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paxlint:", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, a := range analyzers {
+		for _, pass := range passes {
+			diags, err := analysis.RunAnalyzer(a, pass)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paxlint:", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				findings++
+				fmt.Printf("%s:%d:%d: %s: %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, a.Name, d.Message)
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "paxlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the nearest
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relPath renders filename relative to root when possible (keeps the
+// diagnostic lines stable across checkouts).
+func relPath(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+		return rel
+	}
+	return filename
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

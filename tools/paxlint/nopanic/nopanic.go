@@ -1,0 +1,65 @@
+// Package nopanic continues the PR 2/3 panic-to-error migration by
+// construction: library packages must not panic. A panic that escapes a
+// site handler or the coordinator turns one malformed query into a dead
+// process; the transport and the engine convert failures to errors, and
+// new code must start from errors, not be migrated later.
+//
+// Exempt by design:
+//
+//   - functions and methods whose name starts with "Must" — the
+//     documented escape hatch whose contract IS panicking on misuse;
+//   - init functions — registration-time misuse (duplicate wire tags,
+//     conflicting codec names) must fail the process before it serves;
+//   - main packages and test files;
+//   - sites annotated //paxlint:allow nopanic(reason) — the reviewed
+//     list of invariant violations that are unreachable by construction
+//     (corrupt in-memory values no input can produce).
+package nopanic
+
+import (
+	"go/ast"
+	"strings"
+
+	"paxq/tools/paxlint/analysis"
+)
+
+// Analyzer is the no-panic invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic in library code outside Must* helpers, init functions, and reviewed allow markers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.IsMainPkg() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "init" && fd.Recv == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					pass.Reportf(call.Pos(), "panic in library code: return a typed error (or justify with //paxlint:allow nopanic(reason) if unreachable by construction)")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"paxq/tools/paxlint/analysistest"
+	"paxq/tools/paxlint/nopanic"
+)
+
+func TestNopanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer,
+		"paxq/internal/lib",
+		"paxq/cmd/tool",
+	)
+}

@@ -1,0 +1,7 @@
+// Fixture: a command may panic (it owns the process). No diagnostics
+// expected.
+package main
+
+func main() {
+	panic("commands may crash loudly")
+}

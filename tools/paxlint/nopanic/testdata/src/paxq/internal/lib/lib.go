@@ -1,0 +1,39 @@
+// Fixture: panics in library code, with the Must*/init exemptions and
+// the allow-marker escape hatch (valid and malformed).
+package lib
+
+func Parse(s string) (int, error) {
+	if s == "" {
+		panic("empty input") // want `panic in library code: return a typed error`
+	}
+	return len(s), nil
+}
+
+func MustParse(s string) int {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func init() {
+	if false {
+		panic("registration conflict")
+	}
+}
+
+type codec struct{}
+
+func (codec) decode(b []byte) byte {
+	if len(b) == 0 {
+		//paxlint:allow nopanic(unreachable: callers bounds-check first)
+		panic("empty buffer")
+	}
+	return b[0]
+}
+
+//paxlint:allow nopanic() // want `malformed paxlint:allow marker`
+func oops() {
+	panic("x") // want `panic in library code: return a typed error`
+}

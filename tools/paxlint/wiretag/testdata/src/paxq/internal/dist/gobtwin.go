@@ -1,0 +1,14 @@
+// Fixture: the transport package itself, where the gob-twin codec
+// legitimately imports encoding/gob. No diagnostics expected.
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+func gobEncode(v any) []byte {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(v)
+	return buf.Bytes()
+}

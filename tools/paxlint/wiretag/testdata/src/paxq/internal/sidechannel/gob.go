@@ -1,0 +1,13 @@
+// Fixture: a library package smuggling gob around the tagged codec.
+package sidechannel
+
+import (
+	"bytes"
+	"encoding/gob" // want `encoding/gob imported outside internal/dist`
+)
+
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(v)
+	return buf.Bytes()
+}
