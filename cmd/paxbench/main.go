@@ -28,6 +28,13 @@
 //
 //	paxbench -exp cache -json BENCH_cache.json
 //
+// The vector mode benchmarks the site-side Stage-1 evaluators against each
+// other: the per-node scalar pass vs the bit-packed columnar pass
+// (-vector-eval on the serving commands), on the same repeated qualified
+// queries, cold and site-cache-warm, reporting per-stage site compute:
+//
+//	paxbench -exp vector -json BENCH_vector.json
+//
 // -scale is the dataset size relative to the paper's 100 MB baseline
 // (0.05 → 5 MB cumulative).
 package main
@@ -44,7 +51,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, concurrent, codec, cache or all")
+	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, concurrent, codec, cache, vector or all")
 	scale := flag.Float64("scale", 0.02, "data scale relative to the paper's 100MB baseline")
 	runs := flag.Int("runs", 3, "runs per data point (median reported)")
 	steps := flag.Int("steps", 10, "experiment 2/3 iterations")
@@ -55,10 +62,11 @@ func main() {
 	workers := flag.Int("workers", 8, "concurrent mode: parallel query streams")
 	load := flag.Int("load", 25, "concurrent mode: queries per worker; diff mode: seeds")
 	sitePar := flag.Int("site-parallelism", 0, "concurrent mode: per-site fragment evaluation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	vectorEval := flag.Bool("vector-eval", false, "concurrent mode: deploy sites with the bit-packed columnar Stage-1 evaluator")
 	flag.Parse()
 
 	ctx := context.Background()
-	cfg := harness.Config{Scale: *scale, MaxFrags: *frags, Steps: *steps, Runs: *runs, Seed: *seed}
+	cfg := harness.Config{Scale: *scale, MaxFrags: *frags, Steps: *steps, Runs: *runs, Seed: *seed, VectorEval: *vectorEval}
 	writeJSON := func(v any) {
 		if *jsonPath == "" {
 			return
@@ -138,8 +146,8 @@ func main() {
 		// Differential mode: distributed vs centralized on random (tree,
 		// query, fragmentation) instances, over both transports, with
 		// parallel-vs-sequential site evaluation, both codec twins (gob,
-		// simplification disabled) and the cached-vs-uncached site-cache
-		// twins cross-checked.
+		// simplification disabled), the cached-vs-uncached site-cache
+		// twins and the vector-evaluator twins cross-checked.
 		type diffOut struct {
 			Transport string              `json:"transport"`
 			Result    *harness.DiffResult `json:"result"`
@@ -151,6 +159,7 @@ func main() {
 				CompareParallel: true,
 				CompareCodecs:   true,
 				CompareCache:    true,
+				CompareVector:   true,
 			})
 			if res != nil {
 				fmt.Printf("%s %s\n", tr, res)
@@ -178,6 +187,14 @@ func main() {
 	}
 	runCache := func() {
 		rep, err := harness.CacheBench(ctx, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+		writeJSON(rep)
+	}
+	runVector := func() {
+		rep, err := harness.VectorBench(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -214,6 +231,8 @@ func main() {
 		runCodec()
 	case "cache":
 		runCache()
+	case "vector":
+		runVector()
 	case "t2":
 		runT2()
 	case "queries":

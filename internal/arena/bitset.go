@@ -1,0 +1,109 @@
+package arena
+
+import "math/bits"
+
+// Bitset is a packed set over node indices [0, n). Bit i of word i/64 is
+// set iff node i is in the set.
+//
+// Invariant: bits at positions >= the set's node count are zero. Every
+// kernel below preserves it provided its inputs hold it (SetNot and Fill,
+// the two that could set tail bits, take n explicitly and mask the last
+// word), so OnesCount and ForEachSet never observe phantom members.
+type Bitset []uint64
+
+// NewBitset returns an empty set sized for n nodes.
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set adds node i to the set.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes node i from the set.
+func (b Bitset) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether node i is in the set.
+func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Zero empties the set in place.
+func (b Bitset) Zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Fill makes the set contain exactly the nodes [0, n).
+func (b Bitset) Fill(n int) {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	b.maskTail(n)
+}
+
+// CopyFrom overwrites the set with x.
+func (b Bitset) CopyFrom(x Bitset) { copy(b, x) }
+
+// SetAnd stores x AND y into b.
+func (b Bitset) SetAnd(x, y Bitset) {
+	for i := range b {
+		b[i] = x[i] & y[i]
+	}
+}
+
+// SetOr stores x OR y into b.
+func (b Bitset) SetOr(x, y Bitset) {
+	for i := range b {
+		b[i] = x[i] | y[i]
+	}
+}
+
+// SetAndNot stores x AND NOT y into b.
+func (b Bitset) SetAndNot(x, y Bitset) {
+	for i := range b {
+		b[i] = x[i] &^ y[i]
+	}
+}
+
+// SetNot stores the complement of x within [0, n) into b.
+func (b Bitset) SetNot(x Bitset, n int) {
+	for i := range b {
+		b[i] = ^x[i]
+	}
+	b.maskTail(n)
+}
+
+// maskTail zeroes the bits at positions >= n in the last word.
+func (b Bitset) maskTail(n int) {
+	if rem := uint(n) & 63; rem != 0 && len(b) > 0 {
+		b[len(b)-1] &= (1 << rem) - 1
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (b Bitset) OnesCount() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether the set is non-empty.
+func (b Bitset) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachSet calls fn for every member, ascending.
+func (b Bitset) ForEachSet(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package arena
+
+import (
+	"testing"
+
+	"paxq/internal/xmltree"
+)
+
+// buildComb makes a comb-shaped tree: a spine of n elements, each with one
+// leaf child — parents and descendants at every level.
+func buildComb(n int) *xmltree.Tree {
+	root := xmltree.NewElement("s")
+	cur := root
+	for i := 0; i < n; i++ {
+		cur.Append(xmltree.ElT("leaf", "1"))
+		next := xmltree.NewElement("s")
+		cur.Append(next)
+		cur = next
+	}
+	return xmltree.NewTree(root)
+}
+
+// TestBitsetWordBoundaries exercises the kernels at 63/64/65 nodes — the
+// sizes where the tail-masking invariant can silently break.
+func TestBitsetWordBoundaries(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129} {
+		empty := NewBitset(n)
+		if empty.Any() || empty.OnesCount() != 0 {
+			t.Fatalf("n=%d: fresh bitset not empty", n)
+		}
+		full := NewBitset(n)
+		full.Fill(n)
+		if full.OnesCount() != n {
+			t.Fatalf("n=%d: Fill set %d bits", n, full.OnesCount())
+		}
+		// NOT of all-ones is empty; NOT of empty is all-ones — and neither
+		// may leak tail bits.
+		not := NewBitset(n)
+		not.SetNot(full, n)
+		if not.OnesCount() != 0 {
+			t.Fatalf("n=%d: NOT(ones) has %d bits", n, not.OnesCount())
+		}
+		not.SetNot(empty, n)
+		if not.OnesCount() != n {
+			t.Fatalf("n=%d: NOT(empty) has %d bits, want %d", n, not.OnesCount(), n)
+		}
+		// Boundary bits round-trip through Set/Get/Clear.
+		b := NewBitset(n)
+		for _, i := range []int{0, n / 2, n - 1} {
+			b.Set(i)
+			if !b.Get(i) {
+				t.Fatalf("n=%d: bit %d not set", n, i)
+			}
+		}
+		if b.OnesCount() == 0 {
+			t.Fatalf("n=%d: no bits set", n)
+		}
+		b.Clear(n - 1)
+		if b.Get(n - 1) {
+			t.Fatalf("n=%d: bit %d still set after Clear", n, n-1)
+		}
+		// AND/OR/ANDNOT against full/empty behave as identities/absorbers.
+		dst := NewBitset(n)
+		dst.SetAnd(b, full)
+		if dst.OnesCount() != b.OnesCount() {
+			t.Fatalf("n=%d: AND ones changed the set", n)
+		}
+		dst.SetOr(b, empty)
+		if dst.OnesCount() != b.OnesCount() {
+			t.Fatalf("n=%d: OR empty changed the set", n)
+		}
+		dst.SetAndNot(b, b)
+		if dst.Any() {
+			t.Fatalf("n=%d: ANDNOT self not empty", n)
+		}
+		// ForEachSet visits exactly the members, ascending.
+		b.Zero()
+		var want []int
+		for _, i := range []int{0, 5, n - 1} {
+			if i < n && (len(want) == 0 || i > want[len(want)-1]) {
+				want = append(want, i)
+			}
+		}
+		for _, i := range want {
+			b.Set(i)
+		}
+		var got []int
+		b.ForEachSet(func(i int) { got = append(got, i) })
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: ForEachSet visited %v, want %v", n, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: ForEachSet visited %v, want %v", n, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelSweepAllocs caps allocations of the steady-state vector sweep:
+// with preallocated masks and scratch, one full AND/OR/NOT + join round
+// must not allocate — the discipline the wire codec's write path holds.
+func TestKernelSweepAllocs(t *testing.T) {
+	const n = 1037
+	a, b, dst := NewBitset(n), NewBitset(n), NewBitset(n)
+	a.Fill(n)
+	for i := 0; i < n; i += 7 {
+		b.Set(i)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst.SetAnd(a, b)
+		dst.SetOr(dst, b)
+		dst.SetAndNot(dst, a)
+		dst.SetNot(dst, n)
+		dst.CopyFrom(b)
+		_ = dst.OnesCount()
+		dst.Zero()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state kernel sweep allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestJoinAllocs caps allocations of the structural joins with
+// caller-supplied scratch.
+func TestJoinAllocs(t *testing.T) {
+	tree := buildComb(300)
+	a := FromTree(tree)
+	src := NewBitset(a.Len())
+	for i := 0; i < a.Len(); i += 5 {
+		src.Set(i)
+	}
+	dst := NewBitset(a.Len())
+	rank := make([]int32, a.RankLen())
+	allocs := testing.AllocsPerRun(50, func() {
+		a.ParentScatter(src, dst)
+		a.StrictDescendants(src, rank, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("structural joins allocate %.1f times per run, want 0", allocs)
+	}
+}

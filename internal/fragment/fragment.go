@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"paxq/internal/xmltree"
 )
@@ -48,6 +49,10 @@ type Fragment struct {
 	Origin []xmltree.NodeID
 
 	virtuals map[xmltree.NodeID]FragID
+
+	// arenaOnce/arena lazily cache the columnar view (see Arena).
+	arenaOnce sync.Once
+	arena     *ArenaView
 }
 
 // VirtualAt reports the sub-fragment a virtual node stands for.

@@ -66,6 +66,14 @@ type DiffOptions struct {
 	// by then other queries have run, so replays mix hits and re-misses)
 	// against a fresh uncached evaluation.
 	CompareCache bool
+	// CompareVector additionally evaluates every case on a vector-evaluator
+	// twin (WithSiteVectorEval) and on a vector+site-cache twin — the
+	// latter evaluated twice per case (miss-then-hit) and replayed once
+	// more after the whole batch (interleaved schedule) — and requires
+	// answers, visit counts AND byte totals identical to the scalar
+	// primary: the two Stage-1 evaluators must be indistinguishable on the
+	// wire, cold and cache-warm alike.
+	CompareVector bool
 }
 
 // DiffResult aggregates the checks of one or more differential runs.
@@ -79,6 +87,8 @@ type DiffResult struct {
 	CacheCases     int // cached-twin evaluations compared against uncached
 	CacheDiffs     int // cached vs uncached disagreed (answers/visits/bytes)
 	CacheHits      int // Stage-1 cache hits observed across cached twins
+	VectorCases    int // vector-twin evaluations compared against scalar
+	VectorDiffs    int // vector vs scalar disagreed (answers/visits/bytes)
 	MaxVisitsPaX3  int
 	MaxVisitsPaX2  int
 	FailureDetails []string // first few failures, for the test log
@@ -95,6 +105,8 @@ func (r *DiffResult) Merge(other *DiffResult) {
 	r.CacheCases += other.CacheCases
 	r.CacheDiffs += other.CacheDiffs
 	r.CacheHits += other.CacheHits
+	r.VectorCases += other.VectorCases
+	r.VectorDiffs += other.VectorDiffs
 	if other.MaxVisitsPaX3 > r.MaxVisitsPaX3 {
 		r.MaxVisitsPaX3 = other.MaxVisitsPaX3
 	}
@@ -108,12 +120,12 @@ func (r *DiffResult) Merge(other *DiffResult) {
 
 // Ok reports whether every check of every merged run held.
 func (r *DiffResult) Ok() bool {
-	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0 && r.CodecDiffs == 0 && r.CacheDiffs == 0
+	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0 && r.CodecDiffs == 0 && r.CacheDiffs == 0 && r.VectorDiffs == 0
 }
 
 func (r *DiffResult) String() string {
-	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences, %d codec/simplify divergences, %d/%d cached-twin divergences (%d cache hits; max visits: PaX3 %d, PaX2 %d)",
-		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.CodecDiffs, r.CacheDiffs, r.CacheCases, r.CacheHits, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
+	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences, %d codec/simplify divergences, %d/%d cached-twin divergences (%d cache hits), %d/%d vector-twin divergences (max visits: PaX3 %d, PaX2 %d)",
+		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.CodecDiffs, r.CacheDiffs, r.CacheCases, r.CacheHits, r.VectorDiffs, r.VectorCases, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
 }
 
 // xmarkLabels is the vocabulary random xmark-shaped queries draw from.
@@ -292,6 +304,25 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 		}
 		defer tshutdown()
 	}
+	// Vector twins: the bit-packed columnar Stage-1 evaluator, alone and
+	// combined with a warm site cache. Byte-identity of the vector pass
+	// means both must be indistinguishable from the scalar primary in
+	// answers, visit counts and wire bytes — cold and cache-served alike.
+	var vecEng, vecCacheEng *pax.Engine
+	if opts.CompareVector {
+		var vshutdown, vcshutdown func()
+		var err error
+		vecEng, _, vshutdown, err = buildEngine(pax.SiteParallelism(4), pax.WithSiteVectorEval(true))
+		if err != nil {
+			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+		}
+		defer vshutdown()
+		vecCacheEng, _, vcshutdown, err = buildEngine(pax.SiteParallelism(4), pax.WithSiteVectorEval(true), pax.WithSiteCache(64))
+		if err != nil {
+			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+		}
+		defer vcshutdown()
+	}
 
 	fail := func(format string, args ...any) {
 		if len(res.FailureDetails) < 10 {
@@ -320,6 +351,26 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 				got.BytesSent, got.BytesRecv, len(want.Answers), len(got.Answers))
 		}
 	}
+	// cmpVector does the same for a vector-evaluator twin: byte identity of
+	// the vector Stage-1 pass means answers, visits and byte totals must
+	// match the scalar primary exactly.
+	cmpVector := func(name, query string, alg pax.Algorithm, ann bool, want *pax.Result, ve *pax.Engine) {
+		got, err := ve.RunContext(ctx, query, pax.Options{Algorithm: alg, Annotations: ann})
+		res.VectorCases++
+		if err != nil {
+			res.VectorDiffs++
+			fail("seed %d %s %v(XA=%v) %q: %s twin failed: %v", seed, opts.Transport, alg, ann, query, name, err)
+			return
+		}
+		if !slices.Equal(want.Answers, got.Answers) || got.MaxVisits != want.MaxVisits ||
+			got.BytesSent != want.BytesSent || got.BytesRecv != want.BytesRecv {
+			res.VectorDiffs++
+			fail("seed %d %s %v(XA=%v) %q: %s twin diverged (visits %d vs %d, bytes %d/%d vs %d/%d, %d vs %d answers)",
+				seed, opts.Transport, alg, ann, query, name,
+				want.MaxVisits, got.MaxVisits, want.BytesSent, want.BytesRecv,
+				got.BytesSent, got.BytesRecv, len(want.Answers), len(got.Answers))
+		}
+	}
 	// replays remembers each query's PaX3 primary result so the whole
 	// batch can be replayed on the warm cache twin after every other query
 	// has run — the interleaved schedule.
@@ -327,7 +378,7 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 		query string
 		want  *pax.Result
 	}
-	var replays []replayCase
+	var replays, vecReplays []replayCase
 
 	for q := 0; q < opts.Queries; q++ {
 		var query string
@@ -402,6 +453,17 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 						replays = append(replays, replayCase{query: query, want: got})
 					}
 				}
+				if vecEng != nil {
+					cmpVector("vector", query, alg, ann, got, vecEng)
+					// Miss-then-hit: the repeat serves Stage 1 from the
+					// vector twin's cache and must still match the scalar,
+					// uncached primary byte-for-byte.
+					cmpVector("vector+cache", query, alg, ann, got, vecCacheEng)
+					cmpVector("vector+cache repeat", query, alg, ann, got, vecCacheEng)
+					if alg == pax.PaX3 && !ann {
+						vecReplays = append(vecReplays, replayCase{query: query, want: got})
+					}
+				}
 				for _, tw := range twins {
 					tr, err := tw.eng.RunContext(ctx, query, popts)
 					if err != nil {
@@ -436,6 +498,13 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 		}
 		for _, s := range tinySites {
 			res.CacheHits += int(s.CacheStats().Hits)
+		}
+	}
+	if vecCacheEng != nil {
+		// Interleaved-query replay on the warm vector+cache twin: cache-served
+		// vector results must still be byte-identical to the cold scalar runs.
+		for _, rp := range vecReplays {
+			cmpVector("vector interleaved-replay", rp.query, pax.PaX3, false, rp.want, vecCacheEng)
 		}
 	}
 	return res, nil

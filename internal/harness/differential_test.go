@@ -34,6 +34,17 @@ func requireCacheCorpus(t *testing.T, res *DiffResult) {
 	}
 }
 
+// requireVectorCorpus asserts the vector-vs-scalar twin comparison ran at
+// scale: at least 500 vector-twin evaluations (cold, cache-warm and
+// interleaved replays), every one identical to the scalar primary in
+// answers, visit counts and byte totals.
+func requireVectorCorpus(t *testing.T, res *DiffResult) {
+	t.Helper()
+	if res.VectorCases < 500 {
+		t.Errorf("vector-twin comparison covered %d cases, want >= 500", res.VectorCases)
+	}
+}
+
 // TestDifferentialLocalSeedCorpus is the tier-1 fixed corpus: 25 seeds × 5
 // queries × {PaX3, PaX2} × {NA, XA} against the centralized evaluator on
 // the in-process transport, with the per-site visit bound asserted for
@@ -43,13 +54,16 @@ func requireCacheCorpus(t *testing.T, res *DiffResult) {
 // (answers and visit counts must match exactly; bytes must not shrink
 // relative to the binary+simplify primary), and every case replayed on
 // warm and eviction-pressure site-cache twins (answers, visit counts and
-// byte totals must match the uncached primary exactly).
+// byte totals must match the uncached primary exactly), and every case
+// replayed on vector-evaluator twins — plain and site-cache-warm — which
+// must be indistinguishable from the scalar primary.
 func TestDifferentialLocalSeedCorpus(t *testing.T) {
 	res, err := DifferentialSweep(context.Background(), 1, 25, DiffOptions{
 		Transport:       DiffLocal,
 		CompareParallel: true,
 		CompareCodecs:   true,
 		CompareCache:    true,
+		CompareVector:   true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -59,6 +73,7 @@ func TestDifferentialLocalSeedCorpus(t *testing.T) {
 		t.Errorf("corpus covered %d (tree, query, fragmentation) triples, want >= 100", res.Triples)
 	}
 	requireCacheCorpus(t, res)
+	requireVectorCorpus(t, res)
 }
 
 // TestDifferentialTCPSeedCorpus runs the same fixed corpus over real TCP
@@ -66,7 +81,7 @@ func TestDifferentialLocalSeedCorpus(t *testing.T) {
 // per-frame accounting are in the loop, with the gob, no-simplify and
 // site-cache twins deployed as their own TCP clusters.
 func TestDifferentialTCPSeedCorpus(t *testing.T) {
-	res, err := DifferentialSweep(context.Background(), 1, 25, DiffOptions{Transport: DiffTCP, CompareCodecs: true, CompareCache: true})
+	res, err := DifferentialSweep(context.Background(), 1, 25, DiffOptions{Transport: DiffTCP, CompareCodecs: true, CompareCache: true, CompareVector: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,6 +90,7 @@ func TestDifferentialTCPSeedCorpus(t *testing.T) {
 		t.Errorf("corpus covered %d (tree, query, fragmentation) triples, want >= 100", res.Triples)
 	}
 	requireCacheCorpus(t, res)
+	requireVectorCorpus(t, res)
 }
 
 // TestDifferentialExtendedSweep is the randomized long-haul sweep: many
@@ -88,13 +104,14 @@ func TestDifferentialExtendedSweep(t *testing.T) {
 		CompareParallel: true,
 		CompareCodecs:   true,
 		CompareCache:    true,
+		CompareVector:   true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	requireClean(t, res)
 
-	tcpRes, err := DifferentialSweep(context.Background(), 2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true, CompareCache: true})
+	tcpRes, err := DifferentialSweep(context.Background(), 2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true, CompareCache: true, CompareVector: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+
+	"paxq/internal/pax"
+	"paxq/internal/xmark"
+)
+
+// VectorBenchResult measures one (evaluator, cache) variant of the serving
+// stack on one query: the median per-stage summed site compute over the
+// measured runs. Stage-1 entries are where the scalar/vector choice shows
+// up; the remaining stages are evaluator-independent and act as a control.
+type VectorBenchResult struct {
+	Query  string `json:"query"`
+	Vector bool   `json:"vector"`
+	Cached bool   `json:"cached"`
+	Runs   int    `json:"runs"`
+	// StageComputeUs is the median summed per-site compute of each stage
+	// round, microseconds (PaX3: qualifier, selection, answer).
+	StageComputeUs []float64 `json:"stage_compute_us"`
+	// Stage1Us is StageComputeUs[0] — the qualifier pass this benchmark
+	// exists to compare.
+	Stage1Us float64 `json:"stage1_us"`
+}
+
+// VectorBenchReport is the machine-readable baseline paxbench -exp vector
+// emits (BENCH_vector.json): per-stage site-compute latency of the scalar
+// and the bit-packed vector Stage-1 evaluator on the Experiment-1
+// fragmentation over real TCP sites, cold and site-cache-warm.
+type VectorBenchReport struct {
+	Scale     float64             `json:"scale"`
+	Fragments int                 `json:"fragments"`
+	Sites     int                 `json:"sites"`
+	Transport string              `json:"transport"`
+	Results   []VectorBenchResult `json:"results"`
+	// Speedup is scalar over vector cold Stage-1 compute, summed across
+	// the workload's queries (> 1 means the vector pass is faster).
+	Speedup float64 `json:"speedup"`
+}
+
+func (r *VectorBenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Vector Stage-1 baseline (TCP transport, %d fragments / %d sites, scale %g):\n",
+		r.Fragments, r.Sites, r.Scale)
+	fmt.Fprintf(&b, "  %-8s %-10s %-7s %14s %s\n", "query", "evaluator", "cache", "stage1 µs", "per-stage µs")
+	for _, res := range r.Results {
+		name := "Q3"
+		if res.Query == Q4 {
+			name = "Q4"
+		}
+		ev := "scalar"
+		if res.Vector {
+			ev = "vector"
+		}
+		state := "cold"
+		if res.Cached {
+			state = "warm"
+		}
+		stages := make([]string, len(res.StageComputeUs))
+		for i, us := range res.StageComputeUs {
+			stages[i] = fmt.Sprintf("%.1f", us)
+		}
+		fmt.Fprintf(&b, "  %-8s %-10s %-7s %14.1f [%s]\n", name, ev, state, res.Stage1Us, strings.Join(stages, " "))
+	}
+	fmt.Fprintf(&b, "  cold Stage-1 speedup (scalar/vector): %.2fx\n", r.Speedup)
+	return b.String()
+}
+
+// medianUs returns the median of ds in microseconds.
+func medianUs(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return float64(s[len(s)/2]) / float64(time.Microsecond)
+}
+
+// VectorBench deploys the Experiment-1 fragmentation over real TCP sites
+// four times — {scalar, vector} × {no cache, warm Stage-1 cache} — and
+// drives each with the paper's qualified queries (Q3, Q4) under PaX3,
+// recording the summed per-site compute of every stage round
+// (Result.StageCompute). Before anything is timed, every variant's answers
+// are compared against the scalar/uncached baseline's, so an evaluator or
+// cache bug can never masquerade as a speedup. The cached variants are
+// warmed first, so their Stage-1 numbers measure the cache-served path —
+// which is evaluator-independent by construction and acts as a second
+// control next to the evaluator-independent later stages.
+func VectorBench(ctx context.Context, cfg Config) (*VectorBenchReport, error) {
+	cfg = cfg.withDefaults()
+	cal := xmark.Calibrate()
+	ft, err := ft1(cfg, 4, cfg.paperMB(4), cal)
+	if err != nil {
+		return nil, err
+	}
+	numSites := (ft.Len() + 1) / 2
+	topo := pax.RoundRobin(ft, numSites)
+	report := &VectorBenchReport{Scale: cfg.Scale, Fragments: ft.Len(), Sites: len(topo.Sites()), Transport: "tcp"}
+
+	queries := []string{Q3, Q4}
+	runs := cfg.Runs
+	if runs < 5 {
+		runs = 5
+	}
+	// Cold Stage-1 medians per query, for the headline speedup.
+	stage1Cold := map[bool]map[string]float64{false: {}, true: {}}
+	wantAnswers := make(map[string][]pax.AnswerNode, len(queries))
+	for _, vector := range []bool{false, true} {
+		for _, cached := range []bool{false, true} {
+			siteOpts := []pax.SiteOption{pax.WithSiteVectorEval(vector)}
+			if cached {
+				siteOpts = append(siteOpts, pax.WithSiteCache(32))
+			}
+			tcp, _, shutdown, err := pax.BuildTCPCluster(topo, siteOpts...)
+			if err != nil {
+				return nil, err
+			}
+			eng := pax.NewEngine(topo, tcp)
+			// Correctness gate + warm-up: two passes so the cached variants
+			// measure the hit path, with every answer checked against the
+			// scalar/uncached baseline.
+			for pass := 0; pass < 2; pass++ {
+				for _, q := range queries {
+					r, err := eng.RunContext(ctx, q, pax.Options{Algorithm: pax.PaX3, Annotations: true, Sequential: true})
+					if err != nil {
+						shutdown()
+						return nil, fmt.Errorf("harness: vector bench %s: %w", q, err)
+					}
+					if !vector && !cached {
+						wantAnswers[q] = r.Answers
+					} else if !slices.Equal(r.Answers, wantAnswers[q]) {
+						shutdown()
+						return nil, fmt.Errorf("harness: vector bench %s: vector=%v cached=%v diverged on pass %d (%d vs %d answers)",
+							q, vector, cached, pass, len(r.Answers), len(wantAnswers[q]))
+					}
+				}
+			}
+			for _, q := range queries {
+				perStage := make([][]time.Duration, 0, 4)
+				for i := 0; i < runs; i++ {
+					r, err := eng.RunContext(ctx, q, pax.Options{Algorithm: pax.PaX3, Annotations: true, Sequential: true})
+					if err != nil {
+						shutdown()
+						return nil, fmt.Errorf("harness: vector bench %s: %w", q, err)
+					}
+					for s, d := range r.StageCompute {
+						if s >= len(perStage) {
+							perStage = append(perStage, nil)
+						}
+						perStage[s] = append(perStage[s], d)
+					}
+				}
+				res := VectorBenchResult{Query: q, Vector: vector, Cached: cached, Runs: runs}
+				for _, ds := range perStage {
+					res.StageComputeUs = append(res.StageComputeUs, medianUs(ds))
+				}
+				if len(res.StageComputeUs) > 0 {
+					res.Stage1Us = res.StageComputeUs[0]
+				}
+				if !cached {
+					stage1Cold[vector][q] = res.Stage1Us
+				}
+				report.Results = append(report.Results, res)
+			}
+			shutdown()
+		}
+	}
+	var scalarSum, vectorSum float64
+	for _, q := range queries {
+		scalarSum += stage1Cold[false][q]
+		vectorSum += stage1Cold[true][q]
+	}
+	if vectorSum > 0 {
+		report.Speedup = scalarSum / vectorSum
+	}
+	return report, nil
+}

@@ -61,6 +61,11 @@ type Result struct {
 	Stages       int             // coordinator→sites stage rounds executed
 	StageWall    []time.Duration // wall time of each stage
 	StageBytes   []int64         // wire bytes (both directions) per stage
+	// StageCompute is the summed per-site computation time of each stage —
+	// the site-side cost of that stage alone, independent of coordinator
+	// wall time and transport latency. Stage 1 entries are where the
+	// scalar/vector evaluator choice (WithSiteVectorEval) shows up.
+	StageCompute []time.Duration
 	Wall         time.Duration   // total wall time at the coordinator
 	TotalCompute time.Duration   // Σ per-site computation (total cost)
 	// ParallelCompute is the paper's parallel computation cost: the sum
@@ -293,13 +298,14 @@ func (e *Engine) stage(ctx context.Context, res *Result, usage *dist.Metrics, se
 		resps, costs, err = dist.Broadcast(ctx, e.tr, sites, mk)
 	}
 	// Even a failed stage's completed calls are this query's cost.
-	var maxCompute time.Duration
+	var maxCompute, sumCompute time.Duration
 	var stageBytes int64
 	for site, c := range costs {
 		usage.Add(site, c)
 		if c.Compute > maxCompute {
 			maxCompute = c.Compute
 		}
+		sumCompute += c.Compute
 		stageBytes += c.Sent + c.Recv
 	}
 	if err != nil {
@@ -309,6 +315,7 @@ func (e *Engine) stage(ctx context.Context, res *Result, usage *dist.Metrics, se
 	res.Stages++
 	res.StageWall = append(res.StageWall, time.Since(t0))
 	res.StageBytes = append(res.StageBytes, stageBytes)
+	res.StageCompute = append(res.StageCompute, sumCompute)
 	return resps, nil
 }
 

@@ -8,6 +8,32 @@ import (
 	"paxq/internal/xpath"
 )
 
+// stage1Evaluator is the seam between the site's stage machinery and the
+// qualifier-pass implementation. Both implementations produce byte-identical
+// FragQual results (root vectors, SelQual rows and the Work ledger — see
+// parbox.EvalQualFragmentVector's equivalence argument), so everything
+// downstream — selection, pruning, the site cache, the wire — is oblivious
+// to which one ran. The vector form exists purely as a constant-factor
+// optimisation of the Stage-1 O(|F|·|Q|) bound (Theorem 4.1).
+type stage1Evaluator interface {
+	EvalQual(f *fragment.Fragment, c *xpath.Compiled, vs parbox.VarScheme) *parbox.FragQual
+}
+
+// scalarEvaluator runs the per-node recursive pass (parbox.EvalQualFragment).
+type scalarEvaluator struct{}
+
+func (scalarEvaluator) EvalQual(f *fragment.Fragment, c *xpath.Compiled, vs parbox.VarScheme) *parbox.FragQual {
+	return parbox.EvalQualFragment(f, c, vs)
+}
+
+// vectorEvaluator runs the bit-packed columnar pass over the fragment's
+// arena view (parbox.EvalQualFragmentVector).
+type vectorEvaluator struct{}
+
+func (vectorEvaluator) EvalQual(f *fragment.Fragment, c *xpath.Compiled, vs parbox.VarScheme) *parbox.FragQual {
+	return parbox.EvalQualFragmentVector(f, c, vs)
+}
+
 // candidate is a node whose membership in the answer is still a residual
 // formula over cross-fragment variables.
 type candidate struct {

@@ -36,6 +36,10 @@ type Site struct {
 	compiled *lru[string, compiledQuery]
 	par      int
 	simplify bool
+	// eval is the Stage-1 qualifier evaluator — scalar by default, the
+	// bit-packed vector pass when SetVectorEval(true). Both produce
+	// byte-identical results, so the choice is invisible downstream.
+	eval stage1Evaluator
 	// cache, when enabled, memoizes Stage-1 (qualifier pass) results per
 	// compiled query so repeated queries skip the fragment traversal
 	// entirely — see qualcache.go and package sitecache. Nil = disabled.
@@ -94,6 +98,7 @@ func NewSite(id dist.SiteID, frags []*fragment.Fragment) *Site {
 		compiled: newLRU[string, compiledQuery](defaultSiteCompileCache),
 		par:      runtime.GOMAXPROCS(0),
 		simplify: true,
+		eval:     scalarEvaluator{},
 		sessions: make(map[QueryID]*session),
 	}
 	for _, f := range frags {
@@ -120,6 +125,20 @@ func (s *Site) SetParallelism(n int) {
 // starts serving.
 func (s *Site) SetSimplify(on bool) {
 	s.simplify = on
+}
+
+// SetVectorEval selects the Stage-1 qualifier evaluator: the bit-packed
+// columnar pass over per-fragment arenas when on, the per-node recursive
+// pass otherwise (the default). The two are byte-identical in every output
+// — residual vectors, visit counts, wire bytes, the Work ledger — so
+// toggling this never changes an answer or a cost; only site-side compute
+// time. Call before the site starts serving.
+func (s *Site) SetVectorEval(on bool) {
+	if on {
+		s.eval = vectorEvaluator{}
+	} else {
+		s.eval = scalarEvaluator{}
+	}
 }
 
 // shipSimplifier returns a fresh per-fragment Simplifier, or nil when the
@@ -360,7 +379,7 @@ func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
 	frags := s.FragIDs()
 	outs, compute, parWall, err := evalFrags(sess, frags, func(fid fragment.FragID) (qualOut, error) {
 		f := s.frags[fid]
-		fq := parbox.EvalQualFragment(f, sess.c, sess.vs)
+		fq := s.eval.EvalQual(f, sess.c, sess.vs)
 		// One simplifier across the fragment's root vectors: QV and QDV
 		// entries share sub-structure heavily, so interning across the
 		// pair shrinks the shipped bytes the most.

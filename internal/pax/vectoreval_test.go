@@ -1,0 +1,90 @@
+package pax
+
+import (
+	"slices"
+	"testing"
+
+	"paxq/internal/fragment"
+	"paxq/internal/testutil"
+)
+
+// TestVectorEvalIdenticalResult runs the same queries on a scalar and a
+// vector-evaluator cluster over the same fragmentation and demands
+// byte-level indistinguishability: answers, visit counts and wire bytes.
+func TestVectorEvalIdenticalResult(t *testing.T) {
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := RoundRobin(ft, 2)
+	scalarTr, _ := BuildLocalCluster(topo)
+	vectorTr, _ := BuildLocalCluster(topo, WithSiteVectorEval(true))
+	scalar := NewEngine(topo, scalarTr)
+	vector := NewEngine(topo, vectorTr)
+
+	queries := []string{
+		`//broker[//stock/code = "GOOG"]/name`,
+		`//client[broker]/name`,
+		`//stock[price > 100]`,
+	}
+	for _, q := range queries {
+		for _, alg := range []Algorithm{PaX3, PaX2} {
+			opts := Options{Algorithm: alg, Annotations: true}
+			want, err := scalar.Run(q, opts)
+			if err != nil {
+				t.Fatalf("%s scalar: %v", q, err)
+			}
+			got, err := vector.Run(q, opts)
+			if err != nil {
+				t.Fatalf("%s vector: %v", q, err)
+			}
+			if !slices.Equal(want.Answers, got.Answers) {
+				t.Fatalf("%s %v: vector answers diverged (%d vs %d)", q, alg, len(got.Answers), len(want.Answers))
+			}
+			if got.MaxVisits != want.MaxVisits {
+				t.Fatalf("%s %v: visits %d != scalar %d", q, alg, got.MaxVisits, want.MaxVisits)
+			}
+			if got.BytesSent != want.BytesSent || got.BytesRecv != want.BytesRecv {
+				t.Fatalf("%s %v: bytes %d/%d != scalar %d/%d", q, alg,
+					got.BytesSent, got.BytesRecv, want.BytesSent, want.BytesRecv)
+			}
+		}
+	}
+}
+
+// TestCacheSharedAcrossEvaluators: cached Stage-1 entries are
+// evaluator-independent (the vector pass is byte-identical), so entries a
+// scalar evaluation populated are served verbatim after the site switches
+// to the vector evaluator — and vice versa — with no divergence and no
+// re-miss.
+func TestCacheSharedAcrossEvaluators(t *testing.T) {
+	eng, _, sites := cachedCluster(t, 2, 32, 0)
+	query := `//broker[//stock/code = "GOOG"]/name`
+	opts := Options{Algorithm: PaX3}
+	cold, err := eng.Run(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sumCacheStats(sites); s.Misses == 0 || s.Hits != 0 {
+		t.Fatalf("cold scalar run: %+v; want misses only", s)
+	}
+	for _, vector := range []bool{true, false} {
+		for _, s := range sites {
+			s.SetVectorEval(vector)
+		}
+		warm, err := eng.Run(query, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(warm.Answers, cold.Answers) || warm.MaxVisits != cold.MaxVisits ||
+			warm.BytesSent != cold.BytesSent || warm.BytesRecv != cold.BytesRecv {
+			t.Fatalf("vector=%v: cache-served run diverged from cold scalar run", vector)
+		}
+	}
+	s := sumCacheStats(sites)
+	if s.Hits != 2*int64(len(sites)) {
+		t.Fatalf("hits = %d; want %d (2 repeats x %d sites, no evaluator-keyed re-miss)",
+			s.Hits, 2*len(sites), len(sites))
+	}
+}

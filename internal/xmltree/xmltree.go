@@ -216,6 +216,13 @@ func (t *Tree) Node(id NodeID) *Node {
 	return t.nodes[id]
 }
 
+// PreorderNodes returns every node of the frozen tree in preorder, indexed
+// by NodeID (Freeze assigns dense preorder IDs, so PreorderNodes()[i].ID ==
+// i). Columnar builders — see internal/arena — iterate this instead of
+// chasing Children pointers. Callers must not mutate the returned slice;
+// it is invalidated by the next Freeze.
+func (t *Tree) PreorderNodes() []*Node { return t.nodes }
+
 // Walk visits every node in preorder, aborting when visit returns false.
 func (t *Tree) Walk(visit func(*Node) bool) { walkPre(t.Root, visit) }
 

@@ -229,6 +229,11 @@ type ClusterOptions struct {
 	// means entries live until evicted or invalidated. Meaningful only
 	// with SiteCacheSize > 0.
 	SiteCacheTTL time.Duration
+	// SiteVectorEval switches every site's Stage-1 qualifier pass to the
+	// bit-packed columnar evaluator over per-fragment arenas. Answers,
+	// visit counts and wire bytes are byte-identical to the default
+	// per-node evaluator; only site-side compute time differs.
+	SiteVectorEval bool
 }
 
 // Cluster is a fragmented, distributed document plus a coordinator. It is
@@ -291,6 +296,9 @@ func NewCluster(doc *Document, opts ClusterOptions) (*Cluster, error) {
 	}
 	if opts.SiteCacheSize > 0 {
 		siteOpts = append(siteOpts, pax.WithSiteCache(opts.SiteCacheSize), pax.WithSiteCacheTTL(opts.SiteCacheTTL))
+	}
+	if opts.SiteVectorEval {
+		siteOpts = append(siteOpts, pax.WithSiteVectorEval(true))
 	}
 	engOpts := []pax.EngineOption{
 		pax.WithMaxInFlight(opts.MaxInFlight),
