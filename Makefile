@@ -8,16 +8,17 @@ COVER_MIN ?= 85
 # Per-target budget of the fuzz smoke in the check gate.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke vector-smoke docs-check lint lint-fixtures bench
+.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke vector-smoke batch-smoke docs-check lint lint-fixtures bench
 
 # The tier-1 verification gate: everything must compile, vet clean, pass,
 # stay race-free under the concurrent serving load tests, hold the
 # coverage floor on the core packages, survive a short fuzz smoke of the
 # parser and the wire codec, prove the binary codec agrees with gob on
 # the fixed message corpus, prove the vector Stage-1 evaluator is
-# byte-identical to the scalar one, keep the documentation honest, and
+# byte-identical to the scalar one, prove multi-query batching is
+# answer- and cost-transparent, keep the documentation honest, and
 # hold the machine-checked invariants of tools/paxlint.
-check: build vet test test-race cover codec-smoke vector-smoke fuzz-smoke docs-check lint
+check: build vet test test-race cover codec-smoke vector-smoke batch-smoke fuzz-smoke docs-check lint
 
 build:
 	$(GO) build ./...
@@ -66,6 +67,13 @@ vector-smoke:
 	$(GO) test -short -run='TestVectorMatchesScalar|TestVectorSingleFragment|TestVectorDeepSpine' ./internal/parbox
 	$(GO) test -run='TestRoundTrip|TestStructuralJoins|TestBitsetWordBoundaries' ./internal/arena
 	$(GO) test -run=^$$ -bench='BenchmarkArena' -benchtime=1x ./internal/arena
+
+# Batching smoke: a batch of one must be byte-identical to the unbatched
+# path on the full fixed query corpus, coalesced batches must conserve
+# cost exactly (per-query ledgers sum to the transport totals), and the
+# batch envelope codec must round-trip.
+batch-smoke:
+	$(GO) test -run='TestBatchOfOneMatchesDirect|TestBatchCostConservation|TestBatchEnvelopeRoundTrip' ./internal/pax
 
 # Documentation gate: vet plus tools/docscheck, which fails on exported
 # identifiers of the public paxq package missing doc comments, on cmd/*

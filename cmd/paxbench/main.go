@@ -35,6 +35,13 @@
 //
 //	paxbench -exp vector -json BENCH_vector.json
 //
+// The batch mode benchmarks coordinator-side multi-query stage batching:
+// 64–256 concurrent TCP clients repeating qualified queries, with the
+// coalescing window off and on, reporting queries/sec per cell and the
+// speedup batching buys:
+//
+//	paxbench -exp batch -batch-window 200us -max-batch 16 -json BENCH_batch.json
+//
 // -scale is the dataset size relative to the paper's 100 MB baseline
 // (0.05 → 5 MB cumulative).
 package main
@@ -46,12 +53,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"paxq/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, concurrent, codec, cache, vector or all")
+	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, concurrent, codec, cache, vector, batch or all")
 	scale := flag.Float64("scale", 0.02, "data scale relative to the paper's 100MB baseline")
 	runs := flag.Int("runs", 3, "runs per data point (median reported)")
 	steps := flag.Int("steps", 10, "experiment 2/3 iterations")
@@ -63,6 +71,8 @@ func main() {
 	load := flag.Int("load", 25, "concurrent mode: queries per worker; diff mode: seeds")
 	sitePar := flag.Int("site-parallelism", 0, "concurrent mode: per-site fragment evaluation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	vectorEval := flag.Bool("vector-eval", false, "concurrent mode: deploy sites with the bit-packed columnar Stage-1 evaluator")
+	batchWindow := flag.Duration("batch-window", 200*time.Microsecond, "batch mode: coalescing window for the batched variant")
+	maxBatch := flag.Int("max-batch", 16, "batch mode: max queries coalesced into one site envelope")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -147,7 +157,8 @@ func main() {
 		// query, fragmentation) instances, over both transports, with
 		// parallel-vs-sequential site evaluation, both codec twins (gob,
 		// simplification disabled), the cached-vs-uncached site-cache
-		// twins and the vector-evaluator twins cross-checked.
+		// twins, the vector-evaluator twins and the batched-transport
+		// twins cross-checked.
 		type diffOut struct {
 			Transport string              `json:"transport"`
 			Result    *harness.DiffResult `json:"result"`
@@ -160,6 +171,7 @@ func main() {
 				CompareCodecs:   true,
 				CompareCache:    true,
 				CompareVector:   true,
+				CompareBatch:    true,
 			})
 			if res != nil {
 				fmt.Printf("%s %s\n", tr, res)
@@ -201,6 +213,14 @@ func main() {
 		fmt.Println(rep)
 		writeJSON(rep)
 	}
+	runBatch := func() {
+		rep, err := harness.BatchBench(ctx, cfg, *batchWindow, *maxBatch, *load)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+		writeJSON(rep)
+	}
 	runQueries := func() {
 		fmt.Println("Fig. 7 — experiment queries:")
 		names := make([]string, 0, len(harness.PaperQueries))
@@ -233,6 +253,8 @@ func main() {
 		runCache()
 	case "vector":
 		runVector()
+	case "batch":
+		runBatch()
 	case "t2":
 		runT2()
 	case "queries":

@@ -32,6 +32,11 @@
 //     repeated queries answer their qualifier stage from cache with zero
 //     tree traversal (hit/miss/eviction counters appear in /metrics and
 //     /statsz); -cache-ttl bounds entry lifetime.
+//   - -batch-window coalesces stage requests from concurrently served
+//     queries bound for the same site into one batch envelope (at most
+//     -max-batch members): one site visit serves them all, identical
+//     qualifier stages are evaluated once, and each response's stats
+//     still cover that query alone. Off by default.
 //   - SIGINT/SIGTERM trigger graceful shutdown: the listener stops, then
 //     in-flight requests get up to -shutdown-grace to finish before the
 //     cluster is torn down.
@@ -76,6 +81,8 @@ func main() {
 	vectorEval := flag.Bool("vector-eval", false, "use the bit-packed columnar Stage-1 evaluator at sites")
 	cacheSize := flag.Int("cache-size", 0, "per-site Stage-1 memoization cache entries (0 = disabled)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "lifetime of memoized Stage-1 results (0 = until evicted)")
+	batchWindow := flag.Duration("batch-window", 0, "coalescing window for multi-query stage batching (0 = disabled)")
+	maxBatch := flag.Int("max-batch", 0, "max queries per batch envelope (0 = default 16; needs -batch-window)")
 	flag.Parse()
 
 	codec, err := paxq.ParseCodec(*codecName)
@@ -122,6 +129,8 @@ func main() {
 		SiteCacheSize:    *cacheSize,
 		SiteCacheTTL:     *cacheTTL,
 		SiteVectorEval:   *vectorEval,
+		BatchWindow:      *batchWindow,
+		MaxBatchSize:     *maxBatch,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"paxq/internal/pax"
+	"paxq/internal/xmark"
+)
+
+// BatchBenchResult measures one (worker count, batching on/off) cell of
+// the concurrent serving grid on the TCP transport.
+type BatchBenchResult struct {
+	Workers       int     `json:"workers"`
+	Batched       bool    `json:"batched"`
+	Queries       int     `json:"queries"`
+	Errors        int     `json:"errors"`
+	WallMs        float64 `json:"wall_ms"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	MaxVisits     int     `json:"max_visits"`
+	Violations    int     `json:"visit_violations"`
+}
+
+// BatchBenchReport is the machine-readable baseline paxbench -exp batch
+// emits (BENCH_batch.json): concurrent repeated-query throughput over real
+// TCP sites with multi-query stage batching off and on, at several client
+// counts, plus the speedup coalescing buys at each.
+type BatchBenchReport struct {
+	Scale       float64            `json:"scale"`
+	Fragments   int                `json:"fragments"`
+	Sites       int                `json:"sites"`
+	Transport   string             `json:"transport"`
+	WindowUs    int64              `json:"batch_window_us"`
+	MaxBatch    int                `json:"max_batch"`
+	PerWorker   int                `json:"queries_per_worker"`
+	Results     []BatchBenchResult `json:"results"`
+	BestQPS     float64            `json:"best_queries_per_sec"`
+	BestSpeedup float64            `json:"best_speedup"`
+}
+
+func (r *BatchBenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-query batching baseline (TCP transport, %d fragments / %d sites, scale %g, window %dus, max batch %d):\n",
+		r.Fragments, r.Sites, r.Scale, r.WindowUs, r.MaxBatch)
+	fmt.Fprintf(&b, "  %-8s %-8s %12s %12s %10s %12s\n",
+		"workers", "batch", "queries/s", "queries", "errors", "max visits")
+	for _, res := range r.Results {
+		state := "off"
+		if res.Batched {
+			state = "on"
+		}
+		fmt.Fprintf(&b, "  %-8d %-8s %12.1f %12d %10d %12d\n",
+			res.Workers, state, res.QueriesPerSec, res.Queries, res.Errors, res.MaxVisits)
+	}
+	fmt.Fprintf(&b, "  best batched throughput: %.1f queries/s (%.2fx over unbatched at same load)\n", r.BestQPS, r.BestSpeedup)
+	return b.String()
+}
+
+// BatchBench deploys the Experiment-1 fragmentation over real TCP sites on
+// loopback with the Stage-1 site cache enabled, and drives it with 64–256
+// concurrent client streams repeating the paper's qualified queries (Q3,
+// Q4) under PaX3 — the serving workload where many clients ask the same
+// hot questions at once. Each worker count runs twice on its own engine
+// pair over one shared cluster: batching off (every query broadcasts its
+// own stage messages) and batching on (concurrent queries coalesce into
+// shared per-site envelopes inside the window). Before timing, the batched
+// engine's answers are compared against the unbatched engine's, and every
+// timed Result is individually checked against the PaX3 visit bound, so
+// coalescing can never trade correctness or the per-query guarantee for
+// throughput.
+func BatchBench(ctx context.Context, cfg Config, window time.Duration, maxBatch, perWorker int) (*BatchBenchReport, error) {
+	cfg = cfg.withDefaults()
+	if window <= 0 {
+		window = 200 * time.Microsecond
+	}
+	if maxBatch < 2 {
+		maxBatch = 16
+	}
+	if perWorker < 1 {
+		perWorker = 40
+	}
+	cal := xmark.Calibrate()
+	ft, err := ft1(cfg, 4, cfg.paperMB(4), cal)
+	if err != nil {
+		return nil, err
+	}
+	numSites := (ft.Len() + 1) / 2
+	topo := pax.RoundRobin(ft, numSites)
+	report := &BatchBenchReport{
+		Scale:     cfg.Scale,
+		Fragments: ft.Len(),
+		Sites:     len(topo.Sites()),
+		Transport: "tcp",
+		WindowUs:  window.Microseconds(),
+		MaxBatch:  maxBatch,
+		PerWorker: perWorker,
+	}
+
+	tcp, _, shutdown, err := pax.BuildTCPCluster(topo, pax.WithSiteCache(32))
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+	plain := pax.NewEngine(topo, tcp)
+	batched := pax.NewEngine(topo, tcp, pax.WithBatchWindow(window), pax.WithMaxBatchSize(maxBatch))
+
+	queries := []string{Q3, Q4} // qualified: PaX3's Stage 1 is shareable across clients
+	// Correctness gate: the batched engine must reproduce the unbatched
+	// engine's answers on every query before anything is timed.
+	for _, q := range queries {
+		want, err := plain.RunContext(ctx, q, pax.Options{Algorithm: pax.PaX3, Annotations: true})
+		if err != nil {
+			return nil, fmt.Errorf("harness: batch bench %s: %w", q, err)
+		}
+		got, err := batched.RunContext(ctx, q, pax.Options{Algorithm: pax.PaX3, Annotations: true})
+		if err != nil {
+			return nil, fmt.Errorf("harness: batch bench %s (batched): %w", q, err)
+		}
+		if !slices.Equal(got.Answers, want.Answers) {
+			return nil, fmt.Errorf("harness: batch bench %s: batched engine diverged (%d vs %d answers)",
+				q, len(got.Answers), len(want.Answers))
+		}
+	}
+
+	for _, workers := range []int{64, 128, 256} {
+		var offQPS float64
+		for _, useBatch := range []bool{false, true} {
+			eng := plain
+			if useBatch {
+				eng = batched
+			}
+			res := BatchBenchResult{Workers: workers, Batched: useBatch}
+			var mu sync.Mutex
+			var firstErr error
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						r, err := eng.RunContext(ctx, queries[(w+i)%len(queries)], pax.Options{Algorithm: pax.PaX3, Annotations: i%2 == 1})
+						mu.Lock()
+						if err != nil {
+							res.Errors++
+							if firstErr == nil {
+								firstErr = err
+							}
+						} else {
+							res.Queries++
+							if r.MaxVisits > res.MaxVisits {
+								res.MaxVisits = r.MaxVisits
+							}
+							if r.MaxVisits > 3 {
+								res.Violations++
+							}
+						}
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			res.WallMs = float64(wall) / float64(time.Millisecond)
+			if secs := wall.Seconds(); secs > 0 {
+				res.QueriesPerSec = float64(res.Queries) / secs
+			}
+			if firstErr != nil {
+				return nil, fmt.Errorf("harness: batch bench %d workers (batched=%v): %w", workers, useBatch, firstErr)
+			}
+			if res.Violations > 0 {
+				return nil, fmt.Errorf("harness: batch bench %d workers (batched=%v): %d visit-bound violations",
+					workers, useBatch, res.Violations)
+			}
+			if !useBatch {
+				offQPS = res.QueriesPerSec
+			} else if res.QueriesPerSec > report.BestQPS {
+				report.BestQPS = res.QueriesPerSec
+				if offQPS > 0 {
+					report.BestSpeedup = res.QueriesPerSec / offQPS
+				}
+			}
+			report.Results = append(report.Results, res)
+		}
+	}
+	return report, nil
+}

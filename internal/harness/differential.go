@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"slices"
 	"sort"
+	"sync"
+	"time"
 
 	"paxq/internal/centeval"
 	"paxq/internal/dist"
@@ -71,9 +73,20 @@ type DiffOptions struct {
 	// latter evaluated twice per case (miss-then-hit) and replayed once
 	// more after the whole batch (interleaved schedule) — and requires
 	// answers, visit counts AND byte totals identical to the scalar
-	// primary: the two Stage-1 evaluators must be indistinguishable on the
-	// wire, cold and cache-warm alike.
+	// primary: the two Stage-1 evaluators must be indistinguishable from
+	// the wire, cold and cache-warm alike.
 	CompareVector bool
+	// CompareBatch additionally evaluates every case on a twin whose
+	// engine runs a multi-query batching window (WithBatchWindow). The
+	// serial per-case runs exercise the batch-of-one path, which must be
+	// wire-identical to the unbatched primary — answers, visit counts AND
+	// byte totals. After the per-query loop the whole batch of queries is
+	// replayed concurrently on the twin (real N-member envelopes with
+	// shared site evaluation), requiring centralized-equal answers and
+	// intact visit bounds; finally the twin's summed per-query ledgers are
+	// checked against its transport's lifetime totals — the batch
+	// cost-conservation invariant.
+	CompareBatch bool
 }
 
 // DiffResult aggregates the checks of one or more differential runs.
@@ -89,6 +102,8 @@ type DiffResult struct {
 	CacheHits      int // Stage-1 cache hits observed across cached twins
 	VectorCases    int // vector-twin evaluations compared against scalar
 	VectorDiffs    int // vector vs scalar disagreed (answers/visits/bytes)
+	BatchCases     int // batching-twin evaluations (serial and concurrent)
+	BatchDiffs     int // batch twin diverged, or its ledgers failed to conserve
 	MaxVisitsPaX3  int
 	MaxVisitsPaX2  int
 	FailureDetails []string // first few failures, for the test log
@@ -107,6 +122,8 @@ func (r *DiffResult) Merge(other *DiffResult) {
 	r.CacheHits += other.CacheHits
 	r.VectorCases += other.VectorCases
 	r.VectorDiffs += other.VectorDiffs
+	r.BatchCases += other.BatchCases
+	r.BatchDiffs += other.BatchDiffs
 	if other.MaxVisitsPaX3 > r.MaxVisitsPaX3 {
 		r.MaxVisitsPaX3 = other.MaxVisitsPaX3
 	}
@@ -120,12 +137,12 @@ func (r *DiffResult) Merge(other *DiffResult) {
 
 // Ok reports whether every check of every merged run held.
 func (r *DiffResult) Ok() bool {
-	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0 && r.CodecDiffs == 0 && r.CacheDiffs == 0 && r.VectorDiffs == 0
+	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0 && r.CodecDiffs == 0 && r.CacheDiffs == 0 && r.VectorDiffs == 0 && r.BatchDiffs == 0
 }
 
 func (r *DiffResult) String() string {
-	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences, %d codec/simplify divergences, %d/%d cached-twin divergences (%d cache hits), %d/%d vector-twin divergences (max visits: PaX3 %d, PaX2 %d)",
-		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.CodecDiffs, r.CacheDiffs, r.CacheCases, r.CacheHits, r.VectorDiffs, r.VectorCases, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
+	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences, %d codec/simplify divergences, %d/%d cached-twin divergences (%d cache hits), %d/%d vector-twin divergences, %d/%d batch-twin divergences (max visits: PaX3 %d, PaX2 %d)",
+		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.CodecDiffs, r.CacheDiffs, r.CacheCases, r.CacheHits, r.VectorDiffs, r.VectorCases, r.BatchDiffs, r.BatchCases, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
 }
 
 // xmarkLabels is the vocabulary random xmark-shaped queries draw from.
@@ -226,21 +243,22 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 	topo := pax.RoundRobin(ft, numSites)
 
 	// buildEngine deploys one twin of the cluster on the chosen transport,
-	// returning the in-process sites for cache-counter inspection.
-	buildEngine := func(siteOpts ...pax.SiteOption) (*pax.Engine, []*pax.Site, func(), error) {
+	// returning the in-process sites for cache-counter inspection and the
+	// transport for lifetime-ledger checks.
+	buildEngine := func(engOpts []pax.EngineOption, siteOpts ...pax.SiteOption) (*pax.Engine, []*pax.Site, dist.Transport, func(), error) {
 		if opts.Transport == DiffTCP {
 			tcp, sites, shutdown, err := pax.BuildTCPCluster(topo, siteOpts...)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
-			return pax.NewEngine(topo, tcp), sites, shutdown, nil
+			return pax.NewEngine(topo, tcp, engOpts...), sites, tcp, shutdown, nil
 		}
 		local, sites := pax.BuildLocalCluster(topo, siteOpts...)
-		return pax.NewEngine(topo, local), sites, func() {}, nil
+		return pax.NewEngine(topo, local, engOpts...), sites, local, func() {}, nil
 	}
 	var eng, seqEng *pax.Engine
 	{
-		e, _, shutdown, err := buildEngine(pax.SiteParallelism(4))
+		e, _, _, shutdown, err := buildEngine(nil, pax.SiteParallelism(4))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
@@ -248,7 +266,7 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 		eng = e
 	}
 	if opts.CompareParallel {
-		e, _, shutdown, err := buildEngine(pax.SiteParallelism(1))
+		e, _, _, shutdown, err := buildEngine(nil, pax.SiteParallelism(1))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
@@ -268,12 +286,12 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 	}
 	var twins []twin
 	if opts.CompareCodecs {
-		gobEng, _, shutdown, err := buildEngine(pax.SiteParallelism(4), pax.ClusterCodec(dist.Gob))
+		gobEng, _, _, shutdown, err := buildEngine(nil, pax.SiteParallelism(4), pax.ClusterCodec(dist.Gob))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
 		defer shutdown()
-		rawEng, _, rshutdown, err := buildEngine(pax.SiteParallelism(4), pax.SiteSimplify(false))
+		rawEng, _, _, rshutdown, err := buildEngine(nil, pax.SiteParallelism(4), pax.SiteSimplify(false))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
@@ -293,12 +311,12 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 	if opts.CompareCache {
 		var shutdown, tshutdown func()
 		var err error
-		cacheEng, cacheSites, shutdown, err = buildEngine(pax.SiteParallelism(4), pax.WithSiteCache(64))
+		cacheEng, cacheSites, _, shutdown, err = buildEngine(nil, pax.SiteParallelism(4), pax.WithSiteCache(64))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
 		defer shutdown()
-		tinyEng, tinySites, tshutdown, err = buildEngine(pax.SiteParallelism(4), pax.WithSiteCache(1))
+		tinyEng, tinySites, _, tshutdown, err = buildEngine(nil, pax.SiteParallelism(4), pax.WithSiteCache(1))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
@@ -312,16 +330,32 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 	if opts.CompareVector {
 		var vshutdown, vcshutdown func()
 		var err error
-		vecEng, _, vshutdown, err = buildEngine(pax.SiteParallelism(4), pax.WithSiteVectorEval(true))
+		vecEng, _, _, vshutdown, err = buildEngine(nil, pax.SiteParallelism(4), pax.WithSiteVectorEval(true))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
 		defer vshutdown()
-		vecCacheEng, _, vcshutdown, err = buildEngine(pax.SiteParallelism(4), pax.WithSiteVectorEval(true), pax.WithSiteCache(64))
+		vecCacheEng, _, _, vcshutdown, err = buildEngine(nil, pax.SiteParallelism(4), pax.WithSiteVectorEval(true), pax.WithSiteCache(64))
 		if err != nil {
 			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
 		}
 		defer vcshutdown()
+	}
+	// Batch twin: the same deployment plus a coalescing window on the
+	// engine. The serial per-case runs flow through the batch-of-one fast
+	// path; the concurrent phase after the loop builds real multi-member
+	// envelopes.
+	var batchEng *pax.Engine
+	var batchTr dist.Transport
+	if opts.CompareBatch {
+		e, _, btr, bshutdown, err := buildEngine(
+			[]pax.EngineOption{pax.WithBatchWindow(200 * time.Microsecond), pax.WithMaxBatchSize(8)},
+			pax.SiteParallelism(4))
+		if err != nil {
+			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+		}
+		defer bshutdown()
+		batchEng, batchTr = e, btr
 	}
 
 	fail := func(format string, args ...any) {
@@ -371,6 +405,37 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 				got.BytesSent, got.BytesRecv, len(want.Answers), len(got.Answers))
 		}
 	}
+	// The batch twin's ledger accumulator: every byte and nanosecond of
+	// compute its successful runs report, summed for the end-of-seed
+	// conservation check against the transport's lifetime counters.
+	var batchSent, batchRecv int64
+	var batchCompute time.Duration
+	batchFailed := false
+	// cmpBatch evaluates one case serially on the batch twin. One query in
+	// flight means every flush is a batch of one — which must be
+	// wire-identical to the unbatched primary: answers, visits, bytes.
+	cmpBatch := func(query string, alg pax.Algorithm, ann bool, want *pax.Result) {
+		got, err := batchEng.RunContext(ctx, query, pax.Options{Algorithm: alg, Annotations: ann})
+		res.BatchCases++
+		if err != nil {
+			res.BatchDiffs++
+			batchFailed = true
+			fail("seed %d %s %v(XA=%v) %q: batch twin failed: %v", seed, opts.Transport, alg, ann, query, err)
+			return
+		}
+		batchSent += got.BytesSent
+		batchRecv += got.BytesRecv
+		batchCompute += got.TotalCompute
+		if !slices.Equal(want.Answers, got.Answers) || got.MaxVisits != want.MaxVisits ||
+			got.BytesSent != want.BytesSent || got.BytesRecv != want.BytesRecv {
+			res.BatchDiffs++
+			fail("seed %d %s %v(XA=%v) %q: batch-of-one diverged from direct (visits %d vs %d, bytes %d/%d vs %d/%d, %d vs %d answers)",
+				seed, opts.Transport, alg, ann, query,
+				want.MaxVisits, got.MaxVisits, want.BytesSent, want.BytesRecv,
+				got.BytesSent, got.BytesRecv, len(want.Answers), len(got.Answers))
+		}
+	}
+
 	// replays remembers each query's PaX3 primary result so the whole
 	// batch can be replayed on the warm cache twin after every other query
 	// has run — the interleaved schedule.
@@ -379,6 +444,13 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 		want  *pax.Result
 	}
 	var replays, vecReplays []replayCase
+	// batchReplays remembers each query with its centralized answer for the
+	// concurrent batching phase.
+	type batchCase struct {
+		query string
+		want  []xmltree.NodeID
+	}
+	var batchReplays []batchCase
 
 	for q := 0; q < opts.Queries; q++ {
 		var query string
@@ -453,6 +525,12 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 						replays = append(replays, replayCase{query: query, want: got})
 					}
 				}
+				if batchEng != nil {
+					cmpBatch(query, alg, ann, got)
+					if alg == pax.PaX3 && !ann {
+						batchReplays = append(batchReplays, batchCase{query: query, want: want})
+					}
+				}
 				if vecEng != nil {
 					cmpVector("vector", query, alg, ann, got, vecEng)
 					// Miss-then-hit: the repeat serves Stage 1 from the
@@ -505,6 +583,67 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 		// vector results must still be byte-identical to the cold scalar runs.
 		for _, rp := range vecReplays {
 			cmpVector("vector interleaved-replay", rp.query, pax.PaX3, false, rp.want, vecCacheEng)
+		}
+	}
+	if batchEng != nil {
+		// Concurrent phase: the seed's PaX3 queries all in flight at once,
+		// so the window coalesces real multi-member envelopes with shared
+		// site evaluation. Byte totals are not comparable to solo runs here
+		// (envelope bytes are split among members), but answers must equal
+		// the centralized oracle, visit bounds must hold, and every member's
+		// ledger feeds the conservation check.
+		type out struct {
+			res *pax.Result
+			err error
+		}
+		outs := make([]out, len(batchReplays))
+		var wg sync.WaitGroup
+		for i, rp := range batchReplays {
+			wg.Add(1)
+			go func(i int, query string) {
+				defer wg.Done()
+				r, err := batchEng.RunContext(ctx, query, pax.Options{Algorithm: pax.PaX3})
+				outs[i] = out{res: r, err: err}
+			}(i, rp.query)
+		}
+		wg.Wait()
+		for i, o := range outs {
+			res.BatchCases++
+			if o.err != nil {
+				res.BatchDiffs++
+				batchFailed = true
+				fail("seed %d %s batch concurrent %q: %v", seed, opts.Transport, batchReplays[i].query, o.err)
+				continue
+			}
+			batchSent += o.res.BytesSent
+			batchRecv += o.res.BytesRecv
+			batchCompute += o.res.TotalCompute
+			if !testutil.EqualIDs(origAnswerIDs(ft, o.res.Answers), batchReplays[i].want) {
+				res.BatchDiffs++
+				fail("seed %d %s batch concurrent %q: %d answers, centralized %d",
+					seed, opts.Transport, batchReplays[i].query, len(o.res.Answers), len(batchReplays[i].want))
+			}
+			if o.res.MaxVisits > visitBound(pax.PaX3) {
+				res.BatchDiffs++
+				fail("seed %d %s batch concurrent %q: %d visits > bound %d",
+					seed, opts.Transport, batchReplays[i].query, o.res.MaxVisits, visitBound(pax.PaX3))
+			}
+		}
+		// Cost conservation over the batch paths: the harness owns this
+		// transport's entire lifetime, so the sum of its queries' private
+		// ledgers must equal the transport's cumulative counters exactly —
+		// shared envelopes included. Skipped only if a run failed (a failed
+		// run's partial stage costs reach the transport but its Result is
+		// discarded, so the sums legitimately cannot match).
+		if !batchFailed {
+			//paxlint:allow ledger(batch cost-conservation check: the harness owns this transport's entire lifetime and compares, never resets)
+			m := batchTr.Metrics()
+			tSent, tRecv := m.Bytes()
+			if batchSent != tSent || batchRecv != tRecv || batchCompute != m.TotalCompute() {
+				res.BatchDiffs++
+				fail("seed %d %s: batch ledger conservation violated: Σ per-query %d/%d bytes, %v compute; transport %d/%d bytes, %v compute",
+					seed, opts.Transport, batchSent, batchRecv, batchCompute, tSent, tRecv, m.TotalCompute())
+			}
 		}
 	}
 	return res, nil

@@ -45,6 +45,18 @@ func requireVectorCorpus(t *testing.T, res *DiffResult) {
 	}
 }
 
+// requireBatchCorpus asserts the batched-vs-unbatched twin comparison ran
+// at scale: at least 500 batch-twin evaluations (serial batch-of-one
+// byte-identity checks plus concurrent coalesced runs), every one matching
+// the primary/oracle, with the per-query ledger sums conserved against the
+// batch transport's cumulative counters.
+func requireBatchCorpus(t *testing.T, res *DiffResult) {
+	t.Helper()
+	if res.BatchCases < 500 {
+		t.Errorf("batch-twin comparison covered %d cases, want >= 500", res.BatchCases)
+	}
+}
+
 // TestDifferentialLocalSeedCorpus is the tier-1 fixed corpus: 25 seeds × 5
 // queries × {PaX3, PaX2} × {NA, XA} against the centralized evaluator on
 // the in-process transport, with the per-site visit bound asserted for
@@ -64,6 +76,7 @@ func TestDifferentialLocalSeedCorpus(t *testing.T) {
 		CompareCodecs:   true,
 		CompareCache:    true,
 		CompareVector:   true,
+		CompareBatch:    true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -74,6 +87,7 @@ func TestDifferentialLocalSeedCorpus(t *testing.T) {
 	}
 	requireCacheCorpus(t, res)
 	requireVectorCorpus(t, res)
+	requireBatchCorpus(t, res)
 }
 
 // TestDifferentialTCPSeedCorpus runs the same fixed corpus over real TCP
@@ -81,7 +95,7 @@ func TestDifferentialLocalSeedCorpus(t *testing.T) {
 // per-frame accounting are in the loop, with the gob, no-simplify and
 // site-cache twins deployed as their own TCP clusters.
 func TestDifferentialTCPSeedCorpus(t *testing.T) {
-	res, err := DifferentialSweep(context.Background(), 1, 25, DiffOptions{Transport: DiffTCP, CompareCodecs: true, CompareCache: true, CompareVector: true})
+	res, err := DifferentialSweep(context.Background(), 1, 25, DiffOptions{Transport: DiffTCP, CompareCodecs: true, CompareCache: true, CompareVector: true, CompareBatch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,6 +105,7 @@ func TestDifferentialTCPSeedCorpus(t *testing.T) {
 	}
 	requireCacheCorpus(t, res)
 	requireVectorCorpus(t, res)
+	requireBatchCorpus(t, res)
 }
 
 // TestDifferentialExtendedSweep is the randomized long-haul sweep: many
@@ -105,13 +120,14 @@ func TestDifferentialExtendedSweep(t *testing.T) {
 		CompareCodecs:   true,
 		CompareCache:    true,
 		CompareVector:   true,
+		CompareBatch:    true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	requireClean(t, res)
 
-	tcpRes, err := DifferentialSweep(context.Background(), 2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true, CompareCache: true, CompareVector: true})
+	tcpRes, err := DifferentialSweep(context.Background(), 2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true, CompareCache: true, CompareVector: true, CompareBatch: true})
 	if err != nil {
 		t.Fatal(err)
 	}

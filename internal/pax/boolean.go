@@ -23,15 +23,16 @@ import (
 // shares — it is safe for concurrent use and attributes costs to its own
 // Result alone.
 func (e *Engine) RunBooleanContext(ctx context.Context, query string, opts Options) (truth bool, res *Result, err error) {
-	p, perr := e.plan(query, false)
-	if perr != nil {
-		return false, nil, perr
-	}
+	// Admit before planning, like RunContext: shed queries never compile.
 	release, aerr := e.admit(ctx)
 	if aerr != nil {
 		return false, nil, aerr
 	}
 	defer release()
+	p, perr := e.plan(query, false)
+	if perr != nil {
+		return false, nil, perr
+	}
 	c := p.c
 	if len(c.Sel) != 2 || c.Sel[1].Kind != xpath.SelStep || !c.Sel[1].Test.Wild {
 		return false, nil, fmt.Errorf("pax: %q is not a Boolean query; use a bare qualifier like %q", query, "[//a/b = 'x']")

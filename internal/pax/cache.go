@@ -16,6 +16,10 @@ type lru[K comparable, V any] struct {
 	cap     int
 	entries map[K]*list.Element
 	order   *list.List // front = most recently used
+	// inflight coalesces concurrent misses of one key (see do): the first
+	// misser fills the entry, everyone else waits for it instead of
+	// recomputing — the singleflight pattern, minus the dependency.
+	inflight map[K]*flight[V]
 }
 
 type lruEntry[K comparable, V any] struct {
@@ -23,14 +27,23 @@ type lruEntry[K comparable, V any] struct {
 	val V
 }
 
+// flight is one in-progress fill of a missing key. done is closed once val
+// and err are final; both are written exactly once, before the close.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
 func newLRU[K comparable, V any](capacity int) *lru[K, V] {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &lru[K, V]{
-		cap:     capacity,
-		entries: make(map[K]*list.Element, capacity),
-		order:   list.New(),
+		cap:      capacity,
+		entries:  make(map[K]*list.Element, capacity),
+		order:    list.New(),
+		inflight: make(map[K]*flight[V]),
 	}
 }
 
@@ -53,6 +66,10 @@ func (c *lru[K, V]) get(key K) (V, bool) {
 func (c *lru[K, V]) put(key K, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, val)
+}
+
+func (c *lru[K, V]) putLocked(key K, val V) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*lruEntry[K, V]).val = val
 		c.order.MoveToFront(el)
@@ -64,6 +81,41 @@ func (c *lru[K, V]) put(key K, val V) {
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*lruEntry[K, V]).key)
 	}
+}
+
+// do returns the cached value for key, or fills it by calling fn exactly
+// once no matter how many goroutines miss concurrently: the first misser
+// runs fn, later arrivals block until it finishes and share its result.
+// Without this, a thundering herd of first-time requests for one query —
+// the common case under a batching window — would compile it N times.
+// Errors are shared by the waiting herd but never cached: the next miss
+// retries.
+func (c *lru[K, V]) do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		v := el.Value.(*lruEntry[K, V]).val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.putLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
 }
 
 // len returns the number of cached entries.

@@ -100,9 +100,18 @@ type Engine struct {
 	tr    dist.Transport
 	qid   atomic.Uint64
 	plans *lru[planKey, *plan]
+	// planCompiles counts plan-cache fills — a test hook for the
+	// single-compile-under-concurrent-miss and shed-before-plan guarantees.
+	planCompiles atomic.Int64
 
 	inflight     chan struct{} // admission slots; nil = unlimited
 	queueTimeout time.Duration
+
+	// batch, when non-nil, coalesces concurrent stage calls to one site
+	// into batch envelopes (WithBatchWindow). Nil = batching off.
+	batch       *batcher
+	batchWindow time.Duration
+	maxBatch    int
 }
 
 // EngineOption configures an Engine at construction.
@@ -136,13 +145,22 @@ func NewEngine(topo *Topology, tr dist.Transport, opts ...EngineOption) *Engine 
 	for _, o := range opts {
 		o(e)
 	}
+	if e.batchWindow > 0 {
+		e.batch = newBatcher(tr, e.batchWindow, e.maxBatch)
+	}
 	return e
 }
 
 // admit claims an in-flight slot, shedding or queueing per configuration.
 // It returns the release function, or an error that already identifies
-// why admission failed (ErrOverloaded or the context's error).
+// why admission failed (ErrOverloaded or the context's error). A context
+// that is already dead fails admission with the context's error before a
+// slot is claimed — an abandoned query must neither occupy a slot another
+// query could use nor be misreported as overload.
 func (e *Engine) admit(ctx context.Context) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if e.inflight == nil {
 		return func() {}, nil
 	}
@@ -167,24 +185,24 @@ func (e *Engine) admit(ctx context.Context) (func(), error) {
 }
 
 // plan returns the cached compiled plan for (query, annotations),
-// compiling and analyzing on a miss.
+// compiling and analyzing on a miss. Concurrent first-time misses of one
+// key compile once and share the result (lru.do).
 func (e *Engine) plan(query string, annotations bool) (*plan, error) {
 	key := planKey{query: query, annotations: annotations}
-	if p, ok := e.plans.get(key); ok {
+	return e.plans.do(key, func() (*plan, error) {
+		e.planCompiles.Add(1)
+		c, err := xpath.Compile(query)
+		if err != nil {
+			return nil, err
+		}
+		p := &plan{c: c}
+		if annotations {
+			p.rel = AnalyzeRelevance(e.topo.FT, c)
+		} else {
+			p.rel = allRelevant(e.topo.FT)
+		}
 		return p, nil
-	}
-	c, err := xpath.Compile(query)
-	if err != nil {
-		return nil, err
-	}
-	p := &plan{c: c}
-	if annotations {
-		p.rel = AnalyzeRelevance(e.topo.FT, c)
-	} else {
-		p.rel = allRelevant(e.topo.FT)
-	}
-	e.plans.put(key, p)
-	return p, nil
+	})
 }
 
 // RunContext evaluates query under the given options, bounded by ctx: the
@@ -196,15 +214,18 @@ func (e *Engine) plan(query string, annotations bool) (*plan, error) {
 // as coordinator panics. Under admission control, a full engine sheds or
 // queues per configuration; both outcomes surface as ErrOverloaded.
 func (e *Engine) RunContext(ctx context.Context, query string, opts Options) (res *Result, err error) {
-	p, perr := e.plan(query, opts.Annotations)
-	if perr != nil {
-		return nil, perr
-	}
+	// Admission strictly precedes planning: a query the overload controller
+	// sheds must cost nothing — no compilation, no relevance analysis, no
+	// plan-cache churn — under exactly the load admission control exists for.
 	release, aerr := e.admit(ctx)
 	if aerr != nil {
 		return nil, aerr
 	}
 	defer release()
+	p, perr := e.plan(query, opts.Annotations)
+	if perr != nil {
+		return nil, perr
+	}
 	// Resolution panics on invariant violations that only corrupt remote
 	// data can produce (cyclic binding chains). A serving coordinator must
 	// degrade them to a failed query, not die.
@@ -294,6 +315,11 @@ func (e *Engine) stage(ctx context.Context, res *Result, usage *dist.Metrics, se
 			}
 			resps[id] = r
 		}
+	} else if e.batch != nil {
+		// Batching engines route concurrent stage rounds through the
+		// per-site coalescing window; semantics (request construction,
+		// error selection, cost charging) mirror dist.Broadcast exactly.
+		resps, costs, err = e.batch.broadcast(ctx, sites, mk)
 	} else {
 		resps, costs, err = dist.Broadcast(ctx, e.tr, sites, mk)
 	}

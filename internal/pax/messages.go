@@ -161,6 +161,36 @@ type AnsStageResp struct {
 	Answers []AnswerNode
 }
 
+// BatchSub is one member of a batch envelope: a complete stage message in
+// its binary body form, prefixed by its wire tag. In a BatchStageResp a
+// zero Tag marks a failed member, with Body carrying the error text.
+type BatchSub struct {
+	Tag  dist.MsgTag
+	Body []byte
+}
+
+// BatchStageReq carries several concurrent queries' stage requests to one
+// site in a single round trip — the coordinator-side batching envelope
+// (see batch.go). Members are independent: each Sub is a stage message of
+// its own query, and member ordering is the coalescing order. Batch
+// envelopes never nest.
+type BatchStageReq struct {
+	Subs []BatchSub
+}
+
+// BatchStageResp carries the per-member responses, index-aligned with the
+// request's Subs. SubComputeNanos[i] is member i's self-reported
+// computation, taken out of the member body before it was encoded (exactly
+// as the transport does for a solo response, so member bodies stay
+// byte-identical to solo responses); the coordinator uses it to attribute
+// the batch call's measured compute to its members. The embedded
+// StageCompute reports the members' sum to the transport.
+type BatchStageResp struct {
+	StageCompute
+	Subs            []BatchSub
+	SubComputeNanos []int64
+}
+
 // FetchReq asks a site to ship its fragments wholesale (NaiveCentralized).
 type FetchReq struct{}
 
@@ -197,6 +227,8 @@ func init() {
 	dist.Register(&AnsStageResp{})
 	dist.Register(&FetchReq{})
 	dist.Register(&FetchResp{})
+	dist.Register(&BatchStageReq{})
+	dist.Register(&BatchStageResp{})
 }
 
 // toWireNode converts a fragment subtree to wire form.

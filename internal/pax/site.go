@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paxq/internal/boolexpr"
@@ -44,6 +45,11 @@ type Site struct {
 	// compiled query so repeated queries skip the fragment traversal
 	// entirely — see qualcache.go and package sitecache. Nil = disabled.
 	cache *sitecache.Cache[qualKey, *qualEntry]
+	// compiles counts compile-cache fills; qualPasses counts full Stage-1
+	// fragment sweeps. Test hooks for the single-compile and shared-batch
+	// evaluation guarantees.
+	compiles   atomic.Int64
+	qualPasses atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[QueryID]*session
@@ -206,6 +212,8 @@ func (s *Site) handle(req any) (any, error) {
 		return s.handleCollect(r)
 	case *FetchReq:
 		return s.handleFetch()
+	case *BatchStageReq:
+		return s.handleBatch(r)
 	}
 	return nil, fmt.Errorf("pax: site %d: unknown request type %T", s.id, req)
 }
@@ -317,18 +325,17 @@ func evalFrags[T any](sess *session, frags []fragment.FragID, fn func(fragment.F
 
 // compile returns the site's cached compilation of query — the immutable
 // Compiled plus its normal-form fingerprint, both shared by every session
-// evaluating the same query text.
+// evaluating the same query text. Concurrent first-time misses of one
+// query compile once and share the result (lru.do).
 func (s *Site) compile(query string) (compiledQuery, error) {
-	if cq, ok := s.compiled.get(query); ok {
-		return cq, nil
-	}
-	c, err := xpath.Compile(query)
-	if err != nil {
-		return compiledQuery{}, err
-	}
-	cq := compiledQuery{c: c, fp: xpath.NormalForm(c.Query)}
-	s.compiled.put(query, cq)
-	return cq, nil
+	return s.compiled.do(query, func() (compiledQuery, error) {
+		s.compiles.Add(1)
+		c, err := xpath.Compile(query)
+		if err != nil {
+			return compiledQuery{}, err
+		}
+		return compiledQuery{c: c, fp: xpath.NormalForm(c.Query)}, nil
+	})
 }
 
 func (s *Site) dropSessionIfDone(qid QueryID, sess *session) {
@@ -336,6 +343,85 @@ func (s *Site) dropSessionIfDone(qid QueryID, sess *session) {
 	defer s.mu.Unlock()
 	if len(sess.cands) == 0 {
 		delete(s.sessions, qid)
+	}
+}
+
+// qualPassResult is one full Stage-1 sweep over the site's fragments: the
+// wire-ready root vectors and the per-fragment qualifier state, plus the
+// sweep's cost. roots and quals are immutable once built and may be shared
+// by any number of sessions (exactly like a cache entry).
+type qualPassResult struct {
+	frags   []fragment.FragID
+	roots   []WireRootVecs
+	quals   []*parbox.FragQual // frags order
+	compute time.Duration
+	parWall time.Duration
+}
+
+// work sums the sweep's qualifier-DAG work ledger — the batch path's
+// attribution weight (each query's owned DAG nodes).
+func (p *qualPassResult) work() int64 {
+	var w int64
+	for _, fq := range p.quals {
+		w += fq.Work
+	}
+	return w
+}
+
+// qualPass runs the Stage-1 qualifier sweep over every hosted fragment,
+// fragments in parallel. On error the cost fields of the partial result
+// are still valid — the fragments already evaluated did their work.
+func (s *Site) qualPass(sess *session) (*qualPassResult, error) {
+	s.qualPasses.Add(1)
+	type qualOut struct {
+		rv WireRootVecs
+		fq *parbox.FragQual
+	}
+	frags := s.FragIDs()
+	outs, compute, parWall, err := evalFrags(sess, frags, func(fid fragment.FragID) (qualOut, error) {
+		f := s.frags[fid]
+		fq := s.eval.EvalQual(f, sess.c, sess.vs)
+		// One simplifier across the fragment's root vectors: QV and QDV
+		// entries share sub-structure heavily, so interning across the
+		// pair shrinks the shipped bytes the most.
+		sim := s.shipSimplifier()
+		rv := WireRootVecs{
+			Frag: fid,
+			QV:   shipVec(sim, fq.Root.QV),
+			QDV:  shipVec(sim, fq.Root.QDV),
+		}
+		// The root fragment also reports its root node's selection-entry
+		// qualifier values, enabling the one-visit ParBoX protocol for
+		// Boolean queries.
+		if fid == fragment.RootFrag && fq.SelQual != nil {
+			sq := fq.SelQual[f.Tree.Root.ID]
+			enc := make(WireVec, len(sq))
+			for i, fm := range sq {
+				if fm == nil {
+					fm = boolexpr.True()
+				}
+				enc[i] = shipOne(sim, fm)
+			}
+			rv.RootSelQual = enc
+		}
+		return qualOut{rv: rv, fq: fq}, nil
+	})
+	res := &qualPassResult{frags: frags, compute: compute, parWall: parWall}
+	if err != nil {
+		return res, err
+	}
+	for i := range frags {
+		res.roots = append(res.roots, outs[i].rv)
+		res.quals = append(res.quals, outs[i].fq)
+	}
+	return res, nil
+}
+
+// seed installs the sweep's per-fragment qualifier state into a session,
+// sharing the immutable FragQuals (the same mechanism a cache hit uses).
+func (p *qualPassResult) seed(sess *session) {
+	for i, fid := range p.frags {
+		sess.qual[fid] = p.quals[i]
 	}
 }
 
@@ -372,58 +458,23 @@ func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
 			return resp, nil
 		}
 	}
-	type qualOut struct {
-		rv WireRootVecs
-		fq *parbox.FragQual
-	}
-	frags := s.FragIDs()
-	outs, compute, parWall, err := evalFrags(sess, frags, func(fid fragment.FragID) (qualOut, error) {
-		f := s.frags[fid]
-		fq := s.eval.EvalQual(f, sess.c, sess.vs)
-		// One simplifier across the fragment's root vectors: QV and QDV
-		// entries share sub-structure heavily, so interning across the
-		// pair shrinks the shipped bytes the most.
-		sim := s.shipSimplifier()
-		rv := WireRootVecs{
-			Frag: fid,
-			QV:   shipVec(sim, fq.Root.QV),
-			QDV:  shipVec(sim, fq.Root.QDV),
-		}
-		// The root fragment also reports its root node's selection-entry
-		// qualifier values, enabling the one-visit ParBoX protocol for
-		// Boolean queries.
-		if fid == fragment.RootFrag && fq.SelQual != nil {
-			sq := fq.SelQual[f.Tree.Root.ID]
-			enc := make(WireVec, len(sq))
-			for i, fm := range sq {
-				if fm == nil {
-					fm = boolexpr.True()
-				}
-				enc[i] = shipOne(sim, fm)
-			}
-			rv.RootSelQual = enc
-		}
-		return qualOut{rv: rv, fq: fq}, nil
-	})
+	pr, err := s.qualPass(sess)
 	if err != nil {
-		return &QualStageResp{StageCompute: stageCompute(start, compute, parWall)},
+		return &QualStageResp{StageCompute: stageCompute(start, pr.compute, pr.parWall)},
 			fmt.Errorf("pax: site %d: %w", s.id, err)
 	}
-	resp := &QualStageResp{}
-	for i, fid := range frags {
-		sess.qual[fid] = outs[i].fq
-		resp.Roots = append(resp.Roots, outs[i].rv)
-	}
+	pr.seed(sess)
+	resp := &QualStageResp{Roots: pr.roots}
 	if s.cache != nil {
-		e := &qualEntry{roots: resp.Roots, qual: make(map[fragment.FragID]*parbox.FragQual, len(frags))}
-		for i, fid := range frags {
-			e.qual[fid] = outs[i].fq
+		e := &qualEntry{roots: pr.roots, qual: make(map[fragment.FragID]*parbox.FragQual, len(pr.frags))}
+		for i, fid := range pr.frags {
+			e.qual[fid] = pr.quals[i]
 		}
 		// The entry's cost is the fragment-evaluation time this miss paid —
 		// what every future hit avoids.
-		s.cache.Put(key, e, compute, gen)
+		s.cache.Put(key, e, pr.compute, gen)
 	}
-	resp.StageCompute = stageCompute(start, compute, parWall)
+	resp.StageCompute = stageCompute(start, pr.compute, pr.parWall)
 	return resp, nil
 }
 

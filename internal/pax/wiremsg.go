@@ -1,6 +1,7 @@
 package pax
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -29,6 +30,8 @@ const (
 	tagAnsStageResp
 	tagFetchReq
 	tagFetchResp
+	tagBatchStageReq
+	tagBatchStageResp
 )
 
 func init() {
@@ -42,6 +45,37 @@ func init() {
 	dist.RegisterBinary(func() dist.BinaryMessage { return new(AnsStageResp) })
 	dist.RegisterBinary(func() dist.BinaryMessage { return new(FetchReq) })
 	dist.RegisterBinary(func() dist.BinaryMessage { return new(FetchResp) })
+	dist.RegisterBinary(func() dist.BinaryMessage { return new(BatchStageReq) })
+	dist.RegisterBinary(func() dist.BinaryMessage { return new(BatchStageResp) })
+}
+
+// newStageMessage constructs the empty message for an inner batch tag. Batch
+// tags themselves are excluded — envelopes never nest — so a nested batch
+// is rejected at decode like any unknown tag.
+func newStageMessage(tag dist.MsgTag) dist.BinaryMessage {
+	switch tag {
+	case tagQualStageReq:
+		return new(QualStageReq)
+	case tagQualStageResp:
+		return new(QualStageResp)
+	case tagSelStageReq:
+		return new(SelStageReq)
+	case tagSelStageResp:
+		return new(SelStageResp)
+	case tagCombinedStageReq:
+		return new(CombinedStageReq)
+	case tagCombinedStageResp:
+		return new(CombinedStageResp)
+	case tagAnsStageReq:
+		return new(AnsStageReq)
+	case tagAnsStageResp:
+		return new(AnsStageResp)
+	case tagFetchReq:
+		return new(FetchReq)
+	case tagFetchResp:
+		return new(FetchResp)
+	}
+	return nil
 }
 
 // reader is a sticky-error consumer over a message body. It keeps decode
@@ -653,6 +687,94 @@ func (m *FetchResp) DecodeBinary(p []byte) error {
 			f.ID = r.fragID()
 			r.wireNode(&f.Root, 0)
 			m.Frags = append(m.Frags, f)
+		}
+	}
+	return r.done()
+}
+
+// fixed64 reads an 8-byte big-endian value. SubComputeNanos travels fixed
+// width, not varint: its values change run to run (they are timings), and a
+// varint encoding would make the envelope length vary with them.
+func (r *reader) fixed64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.p) < 8 {
+		r.fail(fmt.Errorf("%w: fixed64", wirefmt.ErrTruncated))
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.p[:8])
+	r.p = r.p[8:]
+	return int64(v)
+}
+
+func appendSubs(dst []byte, subs []BatchSub) []byte {
+	dst = wirefmt.AppendUvarint(dst, uint64(len(subs)))
+	for _, sub := range subs {
+		dst = wirefmt.AppendUvarint(dst, uint64(sub.Tag))
+		dst = wirefmt.AppendBytes(dst, sub.Body)
+	}
+	return dst
+}
+
+func (r *reader) subs() []BatchSub {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]BatchSub, 0, eagerCap(n))
+	for i := 0; i < n && r.err == nil; i++ {
+		tag := r.uvarint()
+		if r.err == nil && tag > math.MaxUint32 {
+			r.fail(fmt.Errorf("%w: sub tag %d overflows uint32", wirefmt.ErrMalformed, tag))
+			break
+		}
+		out = append(out, BatchSub{Tag: dist.MsgTag(tag), Body: r.bytes()})
+	}
+	return out
+}
+
+// WireTag implements dist.BinaryMessage.
+func (m *BatchStageReq) WireTag() dist.MsgTag { return tagBatchStageReq }
+
+// AppendBinary implements dist.BinaryMessage.
+func (m *BatchStageReq) AppendBinary(dst []byte) ([]byte, error) {
+	return appendSubs(dst, m.Subs), nil
+}
+
+// DecodeBinary implements dist.BinaryMessage.
+func (m *BatchStageReq) DecodeBinary(p []byte) error {
+	r := reader{p: p}
+	m.Subs = r.subs()
+	return r.done()
+}
+
+// WireTag implements dist.BinaryMessage.
+func (m *BatchStageResp) WireTag() dist.MsgTag { return tagBatchStageResp }
+
+// AppendBinary implements dist.BinaryMessage. The per-sub compute array
+// must be index-aligned with Subs; its length is implied, not encoded.
+func (m *BatchStageResp) AppendBinary(dst []byte) ([]byte, error) {
+	if len(m.SubComputeNanos) != len(m.Subs) {
+		return nil, fmt.Errorf("pax: batch response has %d compute entries for %d subs", len(m.SubComputeNanos), len(m.Subs))
+	}
+	dst = wirefmt.AppendUvarint(dst, uint64(m.ComputeNanos))
+	dst = appendSubs(dst, m.Subs)
+	for _, c := range m.SubComputeNanos {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(c))
+	}
+	return dst, nil
+}
+
+// DecodeBinary implements dist.BinaryMessage.
+func (m *BatchStageResp) DecodeBinary(p []byte) error {
+	r := reader{p: p}
+	m.ComputeNanos = r.int64()
+	m.Subs = r.subs()
+	if len(m.Subs) > 0 {
+		m.SubComputeNanos = make([]int64, len(m.Subs))
+		for i := range m.SubComputeNanos {
+			m.SubComputeNanos[i] = r.fixed64()
 		}
 	}
 	return r.done()

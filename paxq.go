@@ -234,6 +234,19 @@ type ClusterOptions struct {
 	// visit counts and wire bytes are byte-identical to the default
 	// per-node evaluator; only site-side compute time differs.
 	SiteVectorEval bool
+	// BatchWindow enables coordinator-side multi-query stage batching:
+	// stage requests from concurrent evaluations bound for the same site
+	// are held up to this long and coalesced into one batch envelope — one
+	// site visit serving every member, with identical qualifier stages
+	// evaluated once and the shared cost split deterministically across
+	// members (per-query Stats still sum exactly to TransportStats). 0
+	// (the default) disables batching; answers are identical either way,
+	// and a batch of one is sent byte-identically to the unbatched path.
+	BatchWindow time.Duration
+	// MaxBatchSize caps how many evaluations one batch envelope may carry
+	// (a full batch flushes before the window expires). 0 means a default
+	// of 16. Meaningful only with BatchWindow > 0.
+	MaxBatchSize int
 }
 
 // Cluster is a fragmented, distributed document plus a coordinator. It is
@@ -303,6 +316,9 @@ func NewCluster(doc *Document, opts ClusterOptions) (*Cluster, error) {
 	engOpts := []pax.EngineOption{
 		pax.WithMaxInFlight(opts.MaxInFlight),
 		pax.WithQueueTimeout(opts.QueueTimeout),
+	}
+	if opts.BatchWindow > 0 {
+		engOpts = append(engOpts, pax.WithBatchWindow(opts.BatchWindow), pax.WithMaxBatchSize(opts.MaxBatchSize))
 	}
 	switch opts.Transport {
 	case TransportLocal:

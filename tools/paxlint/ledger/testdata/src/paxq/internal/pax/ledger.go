@@ -29,3 +29,27 @@ func snapshot(tr transport) *Counters {
 	//paxlint:allow ledger(read-only observability snapshot)
 	return tr.Metrics()
 }
+
+// Batch aggregation path: splitting one envelope's cost across members
+// must stay in per-call arithmetic — never read the shared lifetime
+// counters to attribute batch costs to a query.
+func splitBatchCost(total int64, members int) []int64 {
+	out := make([]int64, members)
+	for i := range out {
+		out[i] = total / int64(members)
+	}
+	return out
+}
+
+func badBatchAttribution(tr transport, start time.Time) []int64 {
+	m := tr.Metrics() // want `shared transport metrics accessed outside internal/dist`
+	_ = m
+	_ = time.Now().Sub(start) // want `time\.Now\(\)\.Sub\(t\) re-derives a duration from a wall-clock reading`
+	return splitBatchCost(int64(time.Since(start)), 2)
+}
+
+func conservationCheck(tr transport, perQuerySum int64) bool {
+	//paxlint:allow ledger(cost-conservation check compares per-query sums against the lifetime totals read-only)
+	_ = tr.Metrics()
+	return perQuerySum >= 0
+}
