@@ -8,7 +8,7 @@ COVER_MIN ?= 85
 # Per-target budget of the fuzz smoke in the check gate.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke vector-smoke batch-smoke docs-check lint lint-fixtures bench
+.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke vector-smoke batch-smoke fault-smoke docs-check lint lint-fixtures bench
 
 # The tier-1 verification gate: everything must compile, vet clean, pass,
 # stay race-free under the concurrent serving load tests, hold the
@@ -16,9 +16,11 @@ FUZZTIME ?= 10s
 # parser and the wire codec, prove the binary codec agrees with gob on
 # the fixed message corpus, prove the vector Stage-1 evaluator is
 # byte-identical to the scalar one, prove multi-query batching is
-# answer- and cost-transparent, keep the documentation honest, and
-# hold the machine-checked invariants of tools/paxlint.
-check: build vet test test-race cover codec-smoke vector-smoke batch-smoke fuzz-smoke docs-check lint
+# answer- and cost-transparent, prove failover keeps answers
+# byte-identical to centralized evaluation on a seeded fault schedule
+# over both transports, keep the documentation honest, and hold the
+# machine-checked invariants of tools/paxlint.
+check: build vet test test-race cover codec-smoke vector-smoke batch-smoke fault-smoke fuzz-smoke docs-check lint
 
 build:
 	$(GO) build ./...
@@ -74,6 +76,15 @@ vector-smoke:
 # batch envelope codec must round-trip.
 batch-smoke:
 	$(GO) test -run='TestBatchOfOneMatchesDirect|TestBatchCostConservation|TestBatchEnvelopeRoundTrip' ./internal/pax
+
+# Fault-injection smoke: a fixed-seed slice of the randomized
+# kill/restart schedules on both transports — replicated fleets injured
+# mid-deployment must keep answering byte-identically to centralized
+# evaluation, within the failover visit bound, with the per-query cost
+# ledgers conserved. The full 200-schedule-per-transport corpus runs in
+# `test` (TestFaultInjectionLocal / TestFaultInjectionTCP).
+fault-smoke:
+	$(GO) test -run='TestFaultSmoke' ./internal/harness
 
 # Documentation gate: vet plus tools/docscheck, which fails on exported
 # identifiers of the public paxq package missing doc comments, on cmd/*

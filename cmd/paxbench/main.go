@@ -22,6 +22,14 @@
 //	paxbench -exp codec -json BENCH_codec.json
 //	paxbench -exp diff -load 10 -json BENCH_diff.json
 //
+// The fault mode runs the fault-injection differential harness: -load
+// randomized kill/restart schedules against replicated fleets on each
+// transport (in-process hook faults; real server kills over TCP), every
+// survived query checked byte-identical to centralized evaluation, within
+// the failover visit bound, with cost ledgers conserved:
+//
+//	paxbench -exp fault -load 50 -json BENCH_fault.json
+//
 // The cache mode benchmarks the site-side Stage-1 memoization cache:
 // repeated qualified queries over a TCP deployment, with and without the
 // cache, reporting queries/sec and the hit/saved-compute counters:
@@ -59,7 +67,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, concurrent, codec, cache, vector, batch or all")
+	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, fault, concurrent, codec, cache, vector, batch or all")
 	scale := flag.Float64("scale", 0.02, "data scale relative to the paper's 100MB baseline")
 	runs := flag.Int("runs", 3, "runs per data point (median reported)")
 	steps := flag.Int("steps", 10, "experiment 2/3 iterations")
@@ -189,6 +197,34 @@ func main() {
 		}
 		writeJSON(out)
 	}
+	runFault := func() {
+		// Fault mode: randomized kill/restart schedules over replicated
+		// fleets on both transports — answers must stay byte-identical to
+		// centralized evaluation through every survived outage, visits
+		// within the failover bound, ledgers conserved.
+		type faultOut struct {
+			Transport string               `json:"transport"`
+			Result    *harness.FaultResult `json:"result"`
+		}
+		var out []faultOut
+		for _, tr := range []harness.DiffTransport{harness.DiffLocal, harness.DiffTCP} {
+			res, err := harness.FaultSweep(ctx, *seed, *load, harness.FaultOptions{Transport: tr})
+			if res != nil {
+				fmt.Printf("%s %s\n", tr, res)
+				out = append(out, faultOut{Transport: tr.String(), Result: res})
+			}
+			if err != nil {
+				fatal(err)
+			}
+			if !res.Ok() {
+				for _, d := range res.FailureDetails {
+					fmt.Println("  " + d)
+				}
+				fatal(fmt.Errorf("fault-injection checks failed on the %s transport", tr))
+			}
+		}
+		writeJSON(out)
+	}
 	runCodec := func() {
 		rep, err := harness.CodecBench(ctx, cfg)
 		if err != nil {
@@ -247,6 +283,8 @@ func main() {
 		runConcurrent()
 	case "diff":
 		runDiff()
+	case "fault":
+		runFault()
 	case "codec":
 		runCodec()
 	case "cache":

@@ -37,6 +37,13 @@
 //     -max-batch members): one site visit serves them all, identical
 //     qualifier stages are evaluated once, and each response's stats
 //     still cover that query alone. Off by default.
+//   - -replicas deploys each fragment group on that many replica sites;
+//     a site that dies or restarts mid-query is survived by per-stage
+//     failover to the next replica (budget and backoff via the -retry-*
+//     flags), with the answer still byte-identical to centralized
+//     evaluation. -registry pins the fleet layout (fragments, replica
+//     groups, addresses) from a JSON registry file instead; failover
+//     counters appear in /metrics and /statsz.
 //   - SIGINT/SIGTERM trigger graceful shutdown: the listener stops, then
 //     in-flight requests get up to -shutdown-grace to finish before the
 //     cluster is torn down.
@@ -83,6 +90,11 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "lifetime of memoized Stage-1 results (0 = until evicted)")
 	batchWindow := flag.Duration("batch-window", 0, "coalescing window for multi-query stage batching (0 = disabled)")
 	maxBatch := flag.Int("max-batch", 0, "max queries per batch envelope (0 = default 16; needs -batch-window)")
+	replicas := flag.Int("replicas", 1, "replica sites per fragment group; >1 deploys a replicated fleet with failover")
+	registry := flag.String("registry", "", "site registry JSON mapping fragments to replica groups (overrides -sites and -replicas)")
+	retryAttempts := flag.Int("retry-attempts", 0, "max attempts per stage call before a query aborts (0 = policy default)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "initial backoff between stage-call retries (needs -retry-attempts)")
+	retryMaxBackoff := flag.Duration("retry-max-backoff", 0, "cap on the exponential retry backoff (needs -retry-attempts)")
 	flag.Parse()
 
 	codec, err := paxq.ParseCodec(*codecName)
@@ -131,6 +143,11 @@ func main() {
 		SiteVectorEval:   *vectorEval,
 		BatchWindow:      *batchWindow,
 		MaxBatchSize:     *maxBatch,
+		Replicas:         *replicas,
+		Registry:         *registry,
+		RetryMaxAttempts: *retryAttempts,
+		RetryBackoff:     *retryBackoff,
+		RetryMaxBackoff:  *retryMaxBackoff,
 	})
 	if err != nil {
 		fatal(err)

@@ -174,7 +174,8 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if secs := uptime.Seconds(); secs > 0 {
 		qps = float64(queries) / secs
 	}
-	cache := s.cluster.TransportStats().SiteCache
+	ts := s.cluster.TransportStats()
+	cache := ts.SiteCache
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":         queries,
 		"errors":          s.errors.Load(),
@@ -191,6 +192,12 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"entries":               cache.Entries,
 			"generation":            cache.Generation,
 			"saved_compute_seconds": cache.SavedCompute.Seconds(),
+		},
+		"failover": map[string]any{
+			"retries":                ts.Failover.Retries,
+			"failovers":              ts.Failover.Failovers,
+			"dead_site_detections":   ts.Failover.DeadSiteDetections,
+			"reestablished_sessions": ts.Failover.ReestablishedSessions,
 		},
 	})
 }
@@ -218,6 +225,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("paxserve_sitecache_expirations_total", "Stage-1 cache entries dropped by TTL.", ts.SiteCache.Expirations)
 	counter("paxserve_sitecache_invalidations_total", "Stage-1 cache entries dropped by generation bumps.", ts.SiteCache.Invalidations)
 	counter("paxserve_sitecache_saved_compute_seconds_total", "Site computation avoided by cache hits.", ts.SiteCache.SavedCompute.Seconds())
+	counter("paxserve_failover_retries_total", "Stage calls retried after a retriable failure.", ts.Failover.Retries)
+	counter("paxserve_failovers_total", "Stage calls rotated to a replica site.", ts.Failover.Failovers)
+	counter("paxserve_failover_dead_sites_total", "Transport-level dead-site detections.", ts.Failover.DeadSiteDetections)
+	counter("paxserve_failover_reestablished_sessions_total", "Query sessions re-established on a replica by stage replay.", ts.Failover.ReestablishedSessions)
 	fmt.Fprintf(&b, "# HELP paxserve_sitecache_entries Live Stage-1 cache entries across sites.\n# TYPE paxserve_sitecache_entries gauge\npaxserve_sitecache_entries %d\n",
 		ts.SiteCache.Entries)
 	fmt.Fprintf(&b, "# HELP paxserve_uptime_seconds Seconds since start.\n# TYPE paxserve_uptime_seconds gauge\npaxserve_uptime_seconds %f\n",

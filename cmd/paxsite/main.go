@@ -7,6 +7,14 @@
 //
 //	paxsite -dir frags/ -frags 1,3 -listen 127.0.0.1:7001
 //
+// As a replicated fleet member, the site takes its assignment — fragment
+// set and listen address — from a registry file written by
+// paxq.SaveRegistry, so every replica of a group serves the group's full
+// fragment set and the coordinator's failover layer can rotate between
+// them:
+//
+//	paxsite -dir frags/ -registry fleet.json -site 3
+//
 // -cache-size enables Stage-1 (qualifier pass) memoization: repeated
 // queries are answered from cache with zero tree traversal. Fragments
 // loaded from -dir are immutable for the process lifetime, so entries
@@ -31,8 +39,9 @@ import (
 func main() {
 	dir := flag.String("dir", "", "fragment directory written by paxfrag (required)")
 	fragList := flag.String("frags", "all", "comma-separated fragment IDs to host, or 'all'")
+	registry := flag.String("registry", "", "site registry JSON: host the fragments registered for -site (overrides -frags; defaults -listen to the registered address)")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address")
-	siteID := flag.Int("site", 0, "site identifier (informational)")
+	siteID := flag.Int("site", 0, "site identifier: names this fleet member in the registry and in coordinator metrics")
 	codecName := flag.String("codec", "binary", "wire codec: binary or gob (must match the coordinator)")
 	noSimplify := flag.Bool("no-simplify", false, "disable the residual-formula simplification pass")
 	cacheSize := flag.Int("cache-size", 0, "Stage-1 memoization cache entries (0 = disabled)")
@@ -54,11 +63,28 @@ func main() {
 		fatal(err)
 	}
 	var ids []fragment.FragID
-	if *fragList == "all" {
+	switch {
+	case *registry != "":
+		reg, err := pax.LoadRegistry(*registry)
+		if err != nil {
+			fatal(err)
+		}
+		ids = reg.FragsOf(dist.SiteID(*siteID))
+		if len(ids) == 0 {
+			fatal(fmt.Errorf("registry %s assigns no fragments to site %d", *registry, *siteID))
+		}
+		// The registered address is the fleet's contract for this site;
+		// an explicit -listen still wins (e.g. port 0 in tests).
+		listenSet := false
+		flag.Visit(func(f *flag.Flag) { listenSet = listenSet || f.Name == "listen" })
+		if addr, ok := reg.Addrs()[dist.SiteID(*siteID)]; ok && !listenSet {
+			*listen = addr
+		}
+	case *fragList == "all":
 		for i := 0; i < m.Len(); i++ {
 			ids = append(ids, fragment.FragID(i))
 		}
-	} else {
+	default:
 		for _, part := range strings.Split(*fragList, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {

@@ -99,11 +99,13 @@ func invokeHandler(h Handler, req any) (resp any, err error) {
 // Broadcast issues one Call per site concurrently and collects the
 // responses and per-call costs by site. The request maker mk runs
 // sequentially over sites in the given order before any call is issued; a
-// nil request skips the site. When several calls fail, the error reported
-// is the failing site's that comes first in sites — deterministic
-// regardless of goroutine scheduling. Errors are returned as Call produced
-// them: transport errors already identify the site, and pax handler errors
-// identify it themselves.
+// nil request skips the site. When any call fails, the error is a
+// *BroadcastError aggregating every failing site in the broadcast's site
+// order — deterministic regardless of goroutine scheduling — each failure
+// tagged with whether it is retriable on a replica (Retriable). Errors
+// are preserved as Call produced them: transport errors already identify
+// the site, pax handler errors identify it themselves, and errors.Is/As
+// traverse the aggregate into every member.
 //
 // The cost map holds an entry for every call whose round trip completed,
 // including calls that returned a handler error — even on a failed
@@ -137,12 +139,17 @@ func Broadcast(ctx context.Context, tr Transport, sites []SiteID, mk func(SiteID
 			costOut[c.site] = costs[i]
 		}
 	}
+	var failed []SiteError
 	out := make(map[SiteID]any, len(calls))
 	for i, c := range calls {
 		if errs[i] != nil {
-			return nil, costOut, errs[i]
+			failed = append(failed, SiteError{Site: c.site, Err: errs[i], Retriable: Retriable(errs[i])})
+			continue
 		}
 		out[c.site] = resps[i]
+	}
+	if len(failed) > 0 {
+		return nil, costOut, &BroadcastError{Failures: failed}
 	}
 	return out, costOut, nil
 }

@@ -175,6 +175,15 @@ func NewTCP(addrs map[SiteID]string, opts ...Option) *TCP {
 // Metrics returns the transport's counters.
 func (t *TCP) Metrics() *Metrics { return t.m }
 
+// Addrs returns a copy of the site address map the transport dials.
+func (t *TCP) Addrs() map[SiteID]string {
+	out := make(map[SiteID]string, len(t.addrs))
+	for id, a := range t.addrs {
+		out[id] = a
+	}
+	return out
+}
+
 // Close drops every connection, idle and in flight; calls in flight fail
 // with a transport error.
 func (t *TCP) Close() error {
@@ -201,7 +210,7 @@ func (t *TCP) popIdle(to SiteID) (net.Conn, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		return nil, errors.New("dist: transport closed")
+		return nil, ErrTransportClosed
 	}
 	conns := t.idle[to]
 	if len(conns) == 0 {
@@ -213,8 +222,18 @@ func (t *TCP) popIdle(to SiteID) (net.Conn, error) {
 	return conn, nil
 }
 
+// dialBackoffs are the waits between dial attempts in getConn: a site
+// that is restarting (its listener briefly down) is reached on a later
+// attempt instead of failing the call. The schedule is short — a site
+// that stays unreachable past ~100ms is treated as dead and handed to
+// the failover layer, which owns the longer replica-rotation backoff.
+var dialBackoffs = []time.Duration{5 * time.Millisecond, 20 * time.Millisecond, 80 * time.Millisecond}
+
 // getConn returns a healthy connection for the site: a pooled one that
-// passes the staleness probe, else a fresh dial bounded by ctx.
+// passes the staleness probe, else a fresh dial bounded by ctx. Dial
+// failures are retried on the dialBackoffs schedule before the site is
+// reported unavailable, so a peer restart between two queries costs a
+// redial, not a failed call.
 func (t *TCP) getConn(ctx context.Context, to SiteID) (net.Conn, error) {
 	for {
 		conn, err := t.popIdle(to)
@@ -232,20 +251,36 @@ func (t *TCP) getConn(ctx context.Context, to SiteID) (net.Conn, error) {
 	}
 	t.mu.Lock()
 	addr := t.addrs[to]
+	closed := t.closed
 	t.mu.Unlock()
+	if closed {
+		return nil, ErrTransportClosed
+	}
 	if addr == "" {
 		return nil, fmt.Errorf("dist: unknown site %d", to)
 	}
 	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("dist: dial site %d (%s): %w", to, addr, err)
+	var conn net.Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		conn, err = d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil || attempt >= len(dialBackoffs) {
+			return nil, siteUnavailable(to, fmt.Errorf("dial %s: %w", addr, err))
+		}
+		select {
+		case <-ctx.Done():
+			return nil, siteUnavailable(to, fmt.Errorf("dial %s: %w", addr, err))
+		case <-time.After(dialBackoffs[attempt]):
+		}
 	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		conn.Close()
-		return nil, errors.New("dist: transport closed")
+		return nil, ErrTransportClosed
 	}
 	t.active[conn] = struct{}{}
 	t.mu.Unlock()
@@ -311,7 +346,10 @@ func (t *TCP) Call(ctx context.Context, to SiteID, req any) (any, CallCost, erro
 		if ctxErr := ctx.Err(); canceled && ctxErr != nil {
 			return nil, CallCost{}, fmt.Errorf("dist: site %d: %w", to, ctxErr)
 		}
-		return nil, CallCost{}, fmt.Errorf("dist: site %d: %w", to, err)
+		// The connection died mid-call (site killed, listener torn down):
+		// the site is unavailable, and since the response never arrived
+		// the failover layer may re-run the request on a replica.
+		return nil, CallCost{}, siteUnavailable(to, err)
 	}
 	if canceled {
 		// The round trip won the race against cancellation, but the

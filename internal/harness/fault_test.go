@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"context"
+	"testing"
+)
+
+// requireFaultClean fails the test with the recorded details if any
+// fault-injection check tripped, and sanity-checks that the sweep
+// actually injured the fleet: a sweep with no kills, no retries and no
+// failovers would vacuously pass.
+func requireFaultClean(t *testing.T, res *FaultResult) {
+	t.Helper()
+	t.Log(res)
+	if !res.Ok() {
+		for _, d := range res.FailureDetails {
+			t.Error(d)
+		}
+		t.Fatalf("fault-injection checks failed: %s", res)
+	}
+	if res.Schedules == 0 || res.Queries == 0 {
+		t.Fatal("fault sweep ran no schedules")
+	}
+	if res.Survived == 0 {
+		t.Fatal("no query survived any schedule — the harness is not exercising failover, only aborts")
+	}
+	if res.Kills == 0 {
+		t.Error("fault sweep injected no kills")
+	}
+	if res.Restarts == 0 {
+		t.Error("fault sweep performed no restarts")
+	}
+	if res.Retries == 0 {
+		t.Error("no stage-call retries observed across the sweep")
+	}
+	if res.Failovers == 0 {
+		t.Error("no replica failovers observed across the sweep")
+	}
+}
+
+// TestFaultInjectionLocal runs 200 randomized kill/restart schedules on
+// the in-process transport: deterministic per-call hook faults (errors,
+// drops, kills with restart windows) against replicated fleets. Every
+// surviving query must answer byte-identically to the centralized
+// evaluator, stay within the failover visit bound B*(1+Retries), and —
+// on abort-free schedules — conserve the cost ledgers exactly.
+func TestFaultInjectionLocal(t *testing.T) {
+	res, err := FaultSweep(context.Background(), 1, 200, FaultOptions{Transport: DiffLocal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireFaultClean(t, res)
+}
+
+// TestFaultInjectionTCP runs 200 randomized kill/restart schedules over
+// real TCP servers on loopback: server processes are torn down
+// mid-deployment (pooled connections die, later dials are refused) and
+// restarted with their state wiped, exercising the stale-connection
+// probe, the dial backoff, dead-site failover and session
+// re-establishment end to end.
+func TestFaultInjectionTCP(t *testing.T) {
+	res, err := FaultSweep(context.Background(), 5000, 200, FaultOptions{Transport: DiffTCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireFaultClean(t, res)
+}
+
+// TestFaultSmoke is the quick gate behind `make fault-smoke`: a small
+// fixed-seed slice of both transports' schedules, fast enough to run on
+// every `make check`.
+func TestFaultSmoke(t *testing.T) {
+	res, err := FaultSweep(context.Background(), 1, 10, FaultOptions{Transport: DiffLocal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpRes, err := FaultSweep(context.Background(), 5000, 5, FaultOptions{Transport: DiffTCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Merge(tcpRes)
+	t.Log(res)
+	if !res.Ok() {
+		for _, d := range res.FailureDetails {
+			t.Error(d)
+		}
+		t.Fatalf("fault smoke failed: %s", res)
+	}
+	if res.Survived == 0 || res.Kills == 0 {
+		t.Fatalf("fault smoke exercised nothing: %s", res)
+	}
+}

@@ -43,6 +43,7 @@ func (e *Engine) RunBooleanContext(ctx context.Context, query string, opts Optio
 		}
 	}()
 	usage := dist.NewMetrics()
+	rt := e.newRoute()
 	start := time.Now()
 
 	res = &Result{RelevantFrags: e.topo.FT.Len(), TotalFrags: e.topo.FT.Len()}
@@ -51,7 +52,7 @@ func (e *Engine) RunBooleanContext(ctx context.Context, query string, opts Optio
 		ft := e.topo.FT
 		vs := parbox.NewVarScheme(c, ft.Len())
 		qid := QueryID(e.qid.Add(1))
-		resps, err := e.stage(ctx, res, usage, opts.Sequential, func(dist.SiteID) any {
+		resps, err := e.stage(ctx, res, usage, opts.Sequential, rt, func(dist.SiteID) any {
 			return &QualStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len())}
 		})
 		if err != nil {
@@ -92,6 +93,8 @@ func (e *Engine) RunBooleanContext(ctx context.Context, query string, opts Optio
 		// sessions expire through the eviction cap.
 	}
 	res.Wall = time.Since(start)
+	retries, failovers := rt.counters()
+	res.Retries, res.Failovers = int(retries), int(failovers)
 	e.finishResult(res, usage)
 	return truth, res, nil
 }

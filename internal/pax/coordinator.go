@@ -73,11 +73,21 @@ type Result struct {
 	// perceived evaluation time on a cluster with one machine per site.
 	// Measured cleanly when Options.Sequential is set.
 	ParallelCompute time.Duration
-	MaxVisits       int   // max per-site visits (≤3 PaX3, ≤2 PaX2)
+	MaxVisits       int   // max per-site visits (≤3 PaX3, ≤2 PaX2; see the failover bound below)
 	BytesSent       int64 // coordinator → sites
 	BytesRecv       int64 // sites → coordinator
 	RelevantFrags   int   // fragments that participated
 	TotalFrags      int
+	// Retries counts stage calls of this query that the failover layer
+	// attempted again after a retriable failure; Failovers counts how many
+	// of those rotated to a different replica. Both are 0 on a fault-free
+	// run, where MaxVisits obeys the paper's exact bound B (3 for PaX3, 2
+	// for PaX2, 1 for Boolean/Naive). Each retry re-establishes at most
+	// one site by replaying at most B-1 prior stages plus the retried
+	// call, so under faults MaxVisits ≤ B·(1 + Retries) — the documented
+	// replica visit bound the fault harness asserts.
+	Retries   int
+	Failovers int
 }
 
 // Engine is the coordinator (the querying site S_Q of the paper).
@@ -112,6 +122,14 @@ type Engine struct {
 	batch       *batcher
 	batchWindow time.Duration
 	maxBatch    int
+
+	// retry is the failover policy (WithRetryPolicy); the lifetime
+	// counters below feed FailoverStats.
+	retry         RetryPolicy
+	retries       atomic.Int64
+	failovers     atomic.Int64
+	deadSites     atomic.Int64
+	reestablished atomic.Int64
 }
 
 // EngineOption configures an Engine at construction.
@@ -144,6 +162,16 @@ func NewEngine(topo *Topology, tr dist.Transport, opts ...EngineOption) *Engine 
 	e := &Engine{topo: topo, tr: tr, plans: newLRU[planKey, *plan](defaultPlanCache)}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.retry.MaxAttempts == 0 {
+		// No explicit policy: replicated fleets fail over by default;
+		// unreplicated ones keep the exact single-attempt semantics they
+		// had before the failover layer existed.
+		if topo.Replicated() {
+			e.retry = DefaultRetryPolicy
+		} else {
+			e.retry = RetryPolicy{MaxAttempts: 1}
+		}
 	}
 	if e.batchWindow > 0 {
 		e.batch = newBatcher(tr, e.batchWindow, e.maxBatch)
@@ -235,14 +263,15 @@ func (e *Engine) RunContext(ctx context.Context, query string, opts Options) (re
 		}
 	}()
 	usage := dist.NewMetrics()
+	rt := e.newRoute()
 	start := time.Now()
 	switch opts.Algorithm {
 	case PaX3:
-		res, err = e.runPaX3(ctx, query, p, opts, usage)
+		res, err = e.runPaX3(ctx, query, p, opts, usage, rt)
 	case PaX2:
-		res, err = e.runPaX2(ctx, query, p, opts, usage)
+		res, err = e.runPaX2(ctx, query, p, opts, usage, rt)
 	case Naive:
-		res, err = e.runNaive(ctx, p.c, opts, usage)
+		res, err = e.runNaive(ctx, p.c, opts, usage, rt)
 	default:
 		return nil, fmt.Errorf("pax: unknown algorithm %v", opts.Algorithm)
 	}
@@ -250,6 +279,8 @@ func (e *Engine) RunContext(ctx context.Context, query string, opts Options) (re
 		return nil, err
 	}
 	res.Wall = time.Since(start)
+	retries, failovers := rt.counters()
+	res.Retries, res.Failovers = int(retries), int(failovers)
 	e.finishResult(res, usage)
 	sortAnswers(res.Answers)
 	return res, nil
@@ -291,15 +322,26 @@ func (e *Engine) relevantFragsBySite(rel *Relevance) map[dist.SiteID][]fragment.
 // completed call to the run's private usage ledger and recording the
 // stage's wall time, wire bytes and parallel computation cost (the
 // maximum per-site computation, §3.4) in res.
-func (e *Engine) stage(ctx context.Context, res *Result, usage *dist.Metrics, seq bool, mk func(dist.SiteID) any) (map[dist.SiteID]any, error) {
+//
+// With a non-nil route the round fans out over the topology's primaries
+// through the failover layer: each logical call may retry against the
+// group's replicas, and every completed physical call — replays and
+// failed attempts included — is charged to the query's ledger. That is
+// the ledger attribution rule for aborted calls: an aborted call's bytes
+// and compute belong to the query that caused them, so Σ per-query stays
+// equal to the transport lifetime totals even when queries fail over
+// (paxlint's ledger analyzer keeps shared-counter reads out of this
+// path, and the fault harness checks the sum exactly).
+func (e *Engine) stage(ctx context.Context, res *Result, usage *dist.Metrics, seq bool, rt *runRoute, mk func(dist.SiteID) any) (map[dist.SiteID]any, error) {
 	sites := e.topo.Sites()
 	t0 := time.Now()
 	var resps map[dist.SiteID]any
-	var costs map[dist.SiteID]dist.CallCost
+	var charged []attrCost
 	var err error
-	if seq {
+	if rt != nil {
+		resps, charged, err = rt.broadcast(ctx, seq, mk)
+	} else if seq {
 		resps = make(map[dist.SiteID]any)
-		costs = make(map[dist.SiteID]dist.CallCost)
 		for _, id := range sites {
 			req := mk(id)
 			if req == nil {
@@ -307,7 +349,7 @@ func (e *Engine) stage(ctx context.Context, res *Result, usage *dist.Metrics, se
 			}
 			r, cost, cerr := e.tr.Call(ctx, id, req)
 			if cost != (dist.CallCost{}) {
-				costs[id] = cost
+				charged = append(charged, attrCost{site: id, cost: cost})
 			}
 			if cerr != nil {
 				err = fmt.Errorf("pax: site %d: %w", id, cerr)
@@ -315,24 +357,30 @@ func (e *Engine) stage(ctx context.Context, res *Result, usage *dist.Metrics, se
 			}
 			resps[id] = r
 		}
-	} else if e.batch != nil {
-		// Batching engines route concurrent stage rounds through the
-		// per-site coalescing window; semantics (request construction,
-		// error selection, cost charging) mirror dist.Broadcast exactly.
-		resps, costs, err = e.batch.broadcast(ctx, sites, mk)
 	} else {
-		resps, costs, err = dist.Broadcast(ctx, e.tr, sites, mk)
+		var costs map[dist.SiteID]dist.CallCost
+		if e.batch != nil {
+			// Batching engines route concurrent stage rounds through the
+			// per-site coalescing window; semantics (request construction,
+			// error selection, cost charging) mirror dist.Broadcast exactly.
+			resps, costs, err = e.batch.broadcast(ctx, sites, mk)
+		} else {
+			resps, costs, err = dist.Broadcast(ctx, e.tr, sites, mk)
+		}
+		for site, c := range costs {
+			charged = append(charged, attrCost{site: site, cost: c})
+		}
 	}
 	// Even a failed stage's completed calls are this query's cost.
 	var maxCompute, sumCompute time.Duration
 	var stageBytes int64
-	for site, c := range costs {
-		usage.Add(site, c)
-		if c.Compute > maxCompute {
-			maxCompute = c.Compute
+	for _, ac := range charged {
+		usage.Add(ac.site, ac.cost)
+		if ac.cost.Compute > maxCompute {
+			maxCompute = ac.cost.Compute
 		}
-		sumCompute += c.Compute
-		stageBytes += c.Sent + c.Recv
+		sumCompute += ac.cost.Compute
+		stageBytes += ac.cost.Sent + ac.cost.Recv
 	}
 	if err != nil {
 		return nil, err
@@ -450,7 +498,7 @@ func respAs[T any](site dist.SiteID, r any, stage string) (T, error) {
 }
 
 // runPaX3 is Procedure PaX3 of Fig. 4(a).
-func (e *Engine) runPaX3(ctx context.Context, query string, p *plan, opts Options, usage *dist.Metrics) (*Result, error) {
+func (e *Engine) runPaX3(ctx context.Context, query string, p *plan, opts Options, usage *dist.Metrics, rt *runRoute) (*Result, error) {
 	res := &Result{}
 	c := p.c
 	ft := e.topo.FT
@@ -468,7 +516,7 @@ func (e *Engine) runPaX3(ctx context.Context, query string, p *plan, opts Option
 	// live anywhere), skipped entirely for qualifier-free queries.
 	var env *boolexpr.Env
 	if hasQual {
-		resps, err := e.stage(ctx, res, usage, opts.Sequential, func(dist.SiteID) any {
+		resps, err := e.stage(ctx, res, usage, opts.Sequential, rt, func(dist.SiteID) any {
 			return &QualStageReq{QID: qid, Query: query, NumFrags: int32(ft.Len())}
 		})
 		if err != nil {
@@ -524,7 +572,7 @@ func (e *Engine) runPaX3(ctx context.Context, query string, p *plan, opts Option
 		}
 		selReqs[site] = req
 	}
-	resps, err := e.stage(ctx, res, usage, opts.Sequential, func(site dist.SiteID) any { return selReqs[site] })
+	resps, err := e.stage(ctx, res, usage, opts.Sequential, rt, func(site dist.SiteID) any { return selReqs[site] })
 	if err != nil {
 		return nil, err
 	}
@@ -575,7 +623,7 @@ func (e *Engine) runPaX3(ctx context.Context, query string, p *plan, opts Option
 			ansReqs[site] = req
 		}
 	}
-	resps, err = e.stage(ctx, res, usage, opts.Sequential, func(site dist.SiteID) any { return ansReqs[site] })
+	resps, err = e.stage(ctx, res, usage, opts.Sequential, rt, func(site dist.SiteID) any { return ansReqs[site] })
 	if err != nil {
 		return nil, err
 	}
@@ -590,7 +638,7 @@ func (e *Engine) runPaX3(ctx context.Context, query string, p *plan, opts Option
 }
 
 // runPaX2 is Procedure PaX2 of Fig. 5.
-func (e *Engine) runPaX2(ctx context.Context, query string, p *plan, opts Options, usage *dist.Metrics) (*Result, error) {
+func (e *Engine) runPaX2(ctx context.Context, query string, p *plan, opts Options, usage *dist.Metrics, rt *runRoute) (*Result, error) {
 	res := &Result{}
 	c := p.c
 	ft := e.topo.FT
@@ -614,7 +662,7 @@ func (e *Engine) runPaX2(ctx context.Context, query string, p *plan, opts Option
 			}
 		}
 	}
-	resps, err := e.stage(ctx, res, usage, opts.Sequential, func(site dist.SiteID) any {
+	resps, err := e.stage(ctx, res, usage, opts.Sequential, rt, func(site dist.SiteID) any {
 		frags := relBySite[site]
 		if len(frags) == 0 {
 			return nil
@@ -711,7 +759,7 @@ func (e *Engine) runPaX2(ctx context.Context, query string, p *plan, opts Option
 		}
 		ansReqs[site] = req
 	}
-	resps, err = e.stage(ctx, res, usage, opts.Sequential, func(site dist.SiteID) any { return ansReqs[site] })
+	resps, err = e.stage(ctx, res, usage, opts.Sequential, rt, func(site dist.SiteID) any { return ansReqs[site] })
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,11 @@
 package pax
 
-import "errors"
+import (
+	"errors"
+	"strings"
+
+	"paxq/internal/dist"
+)
 
 // ErrOverloaded is returned by an Engine whose admission limit is reached:
 // the evaluation was shed (no queueing configured) or timed out waiting
@@ -17,3 +22,49 @@ var ErrOverloaded = errors.New("pax: engine overloaded")
 // could not be admitted. Engine-level admission control (ErrOverloaded)
 // exists to keep serving deployments away from this limit.
 var ErrSessionLimit = errors.New("pax: site session limit reached")
+
+// Session-loss message fragments. Site errors cross the TCP transport as
+// respEnvelope strings, so after one hop the coordinator cannot classify
+// them with errors.Is — the stable message text below is part of the
+// coordinator↔site protocol, matched by classifyStageError (and pinned by
+// tests). The errors.Is checks still serve the in-process transport,
+// which preserves wrap chains.
+const (
+	noSessionMsg    = "no session for query"
+	sessionLimitMsg = "site session limit reached"
+	// outOfOrderMsg is handleSel's complaint when its Stage-1 state is
+	// missing. Stage requests carry the query text, so a restarted site
+	// re-creates the session silently and the first symptom of the lost
+	// state is the selection stage finding no qualifier data.
+	outOfOrderMsg = "arrived out of order (no qualifier state)"
+)
+
+// classifyStageError decides how the failover layer treats one failed
+// stage call:
+//
+//   - retriable=false: permanent. Handler rejections, context expiry, a
+//     closed transport — retrying against a replica would not help (or is
+//     not allowed to: the caller's deadline is the caller's budget).
+//   - retriable=true, inPlace=false: the site is unreachable (wraps
+//     dist.ErrSiteUnavailable) or cannot admit the session
+//     (ErrSessionLimit). Rotate to the next replica of the group.
+//   - retriable=true, inPlace=true: the site answered but its session for
+//     this query is gone — it restarted (or swept the session) between
+//     stages. The site is alive; replay the query's prior stages there to
+//     re-establish the session, no rotation needed.
+func classifyStageError(err error) (retriable, inPlace bool) {
+	if err == nil {
+		return false, false
+	}
+	if dist.Retriable(err) {
+		return true, false
+	}
+	msg := err.Error()
+	if errors.Is(err, ErrSessionLimit) || strings.Contains(msg, sessionLimitMsg) {
+		return true, false
+	}
+	if strings.Contains(msg, noSessionMsg) || strings.Contains(msg, outOfOrderMsg) {
+		return true, true
+	}
+	return false, false
+}

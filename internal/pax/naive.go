@@ -16,9 +16,9 @@ import (
 // Its network traffic is proportional to |T| — the cost the partial
 // evaluation algorithms exist to avoid — and is visible directly in the
 // Result's byte counters.
-func (e *Engine) runNaive(ctx context.Context, c *xpath.Compiled, opts Options, usage *dist.Metrics) (*Result, error) {
+func (e *Engine) runNaive(ctx context.Context, c *xpath.Compiled, opts Options, usage *dist.Metrics, rt *runRoute) (*Result, error) {
 	res := &Result{RelevantFrags: e.topo.FT.Len()}
-	resps, err := e.stage(ctx, res, usage, opts.Sequential, func(dist.SiteID) any { return &FetchReq{} })
+	resps, err := e.stage(ctx, res, usage, opts.Sequential, rt, func(dist.SiteID) any { return &FetchReq{} })
 	if err != nil {
 		return nil, err
 	}

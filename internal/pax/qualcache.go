@@ -53,6 +53,7 @@ type qualEntry struct {
 // without a BumpCacheGeneration call). Call before the site starts
 // serving, like the other Set/Enable knobs.
 func (s *Site) EnableCache(size int, ttl time.Duration) {
+	s.cacheSize, s.cacheTTL = size, ttl
 	if size <= 0 {
 		s.cache = nil
 		return

@@ -1,0 +1,184 @@
+package pax
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+)
+
+// Registry is the static site-registry file format: which replica sites
+// host each fragment, and (for TCP fleets) where each site listens. It is
+// the deployment artifact paxq.ClusterOptions and cmd/paxserve consume to
+// stand up a replicated fleet, and cmd/paxsite consumes to learn which
+// fragments its site serves.
+//
+// The first replica of a fragment is its primary. Fragments sharing a
+// primary form one replica group and must list identical replica sets —
+// every group member hosts the group's full fragment set, the invariant
+// Topology.Replicate enforces (Stage 1 evaluates everything a site
+// hosts, so an asymmetric replica would answer differently).
+type Registry struct {
+	// Fragments maps each fragment to its ordered replica sites, primary
+	// first. Every fragment of the fragmentation must appear exactly once.
+	Fragments []RegistryFragment `json:"fragments"`
+	// Sites lists the listen address of each site for TCP deployments.
+	// Optional for in-process clusters.
+	Sites []RegistrySite `json:"sites,omitempty"`
+}
+
+// RegistryFragment assigns one fragment to its replica sites.
+type RegistryFragment struct {
+	Frag     int32   `json:"frag"`
+	Replicas []int32 `json:"replicas"`
+}
+
+// RegistrySite names one site's listen address.
+type RegistrySite struct {
+	ID   int32  `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// LoadRegistry reads and parses a registry file. Structural validation
+// happens in Topology (it needs the fragmentation to check coverage).
+func LoadRegistry(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pax: registry: %w", err)
+	}
+	var r Registry
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("pax: registry %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Save writes the registry as indented JSON.
+func (r *Registry) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("pax: registry: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("pax: registry: %w", err)
+	}
+	return nil
+}
+
+// Addrs returns the site address map for dialing a TCP fleet.
+func (r *Registry) Addrs() map[dist.SiteID]string {
+	out := make(map[dist.SiteID]string, len(r.Sites))
+	for _, s := range r.Sites {
+		out[dist.SiteID(s.ID)] = s.Addr
+	}
+	return out
+}
+
+// FragsOf returns the fragments a site hosts under this registry, in
+// ascending order — what cmd/paxsite serves when started with -registry.
+func (r *Registry) FragsOf(site dist.SiteID) []fragment.FragID {
+	var out []fragment.FragID
+	for _, f := range r.Fragments {
+		for _, rep := range f.Replicas {
+			if dist.SiteID(rep) == site {
+				out = append(out, fragment.FragID(f.Frag))
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Topology validates the registry against a fragmentation and builds the
+// (possibly replicated) topology it describes: every fragment covered
+// exactly once with at least one replica, fragments sharing a primary
+// listing identical replica sets, and no site serving two groups.
+func (r *Registry) Topology(ft *fragment.Fragmentation) (*Topology, error) {
+	seen := make(map[fragment.FragID]bool, len(r.Fragments))
+	siteOf := make(map[fragment.FragID]dist.SiteID, len(r.Fragments))
+	groups := make(map[dist.SiteID][]dist.SiteID)
+	replicated := false
+	for _, f := range r.Fragments {
+		fid := fragment.FragID(f.Frag)
+		if fid < 0 || int(fid) >= ft.Len() {
+			return nil, fmt.Errorf("pax: registry names fragment %d outside the fragmentation (0..%d)", f.Frag, ft.Len()-1)
+		}
+		if seen[fid] {
+			return nil, fmt.Errorf("pax: registry lists fragment %d twice", f.Frag)
+		}
+		seen[fid] = true
+		if len(f.Replicas) == 0 {
+			return nil, fmt.Errorf("pax: registry gives fragment %d no replica sites", f.Frag)
+		}
+		primary := dist.SiteID(f.Replicas[0])
+		siteOf[fid] = primary
+		group := make([]dist.SiteID, len(f.Replicas))
+		for i, rep := range f.Replicas {
+			group[i] = dist.SiteID(rep)
+		}
+		if prev, ok := groups[primary]; ok {
+			if !sameSites(prev, group) {
+				return nil, fmt.Errorf("pax: fragments of primary site %d disagree on their replica set (%v vs %v): group members must host identical fragment sets", primary, prev, group)
+			}
+		} else {
+			groups[primary] = group
+		}
+		if len(group) > 1 {
+			replicated = true
+		}
+	}
+	for i := 0; i < ft.Len(); i++ {
+		if !seen[fragment.FragID(i)] {
+			return nil, fmt.Errorf("pax: registry does not cover fragment %d", i)
+		}
+	}
+	t, err := NewTopology(ft, siteOf)
+	if err != nil {
+		return nil, err
+	}
+	if replicated {
+		if err := t.Replicate(groups); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// NewRegistry captures a topology (and, for TCP fleets, the site address
+// map) as a registry — the inverse of Registry.Topology, used to write a
+// deployment artifact for a fleet built programmatically.
+func NewRegistry(t *Topology, addrs map[dist.SiteID]string) *Registry {
+	r := &Registry{}
+	for i := 0; i < t.FT.Len(); i++ {
+		fid := fragment.FragID(i)
+		group := t.ReplicasOf(t.SiteOf[fid])
+		reps := make([]int32, len(group))
+		for j, s := range group {
+			reps[j] = int32(s)
+		}
+		r.Fragments = append(r.Fragments, RegistryFragment{Frag: int32(fid), Replicas: reps})
+	}
+	sites := t.Sites()
+	for _, s := range sites {
+		if addr, ok := addrs[s]; ok {
+			r.Sites = append(r.Sites, RegistrySite{ID: int32(s), Addr: addr})
+		}
+	}
+	return r
+}
+
+func sameSites(a, b []dist.SiteID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

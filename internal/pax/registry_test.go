@@ -1,0 +1,121 @@
+package pax
+
+import (
+	"path/filepath"
+	"testing"
+
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+	"paxq/internal/testutil"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 4, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := RoundRobinReplicated(ft, 2, 2)
+	addrs := map[dist.SiteID]string{0: "h0:1", 1: "h1:1", 2: "h2:1", 3: "h3:1"}
+	reg := NewRegistry(topo, addrs)
+	path := filepath.Join(t.TempDir(), "registry.json")
+	if err := reg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Topology(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Replicated() {
+		t.Fatal("round-tripped topology lost replication")
+	}
+	for fid, site := range topo.SiteOf {
+		if got.SiteOf[fid] != site {
+			t.Errorf("fragment %d: primary %d != original %d", fid, got.SiteOf[fid], site)
+		}
+	}
+	for _, p := range topo.Primaries() {
+		a, b := topo.ReplicasOf(p), got.ReplicasOf(p)
+		if len(a) != len(b) {
+			t.Fatalf("primary %d: group %v != original %v", p, b, a)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("primary %d: group %v != original %v", p, b, a)
+			}
+		}
+	}
+	if got := loaded.Addrs(); len(got) != len(addrs) || got[3] != "h3:1" {
+		t.Errorf("Addrs() = %v, want %v", got, addrs)
+	}
+	// FragsOf reports the full group fragment set for primaries AND replicas.
+	for _, p := range topo.Primaries() {
+		want := topo.FragsAt(p)
+		for _, m := range topo.ReplicasOf(p) {
+			if !testutil.EqualIDs(fragIDsToNodeIDs(loaded.FragsOf(m)), fragIDsToNodeIDs(want)) {
+				t.Errorf("FragsOf(%d) = %v, want %v", m, loaded.FragsOf(m), want)
+			}
+		}
+	}
+	// The registry-built topology must serve queries identically.
+	local, _ := BuildLocalCluster(got)
+	eng := NewEngine(got, local)
+	query := `//broker[//stock/code = "GOOG"]/name`
+	want := oracle(t, tr, query)
+	res, err := eng.Run(query, Options{Algorithm: PaX3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans := origIDs(ft, res.Answers); !testutil.EqualIDs(ans, want) {
+		t.Errorf("registry-built cluster answered %v, want %v", ans, want)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(ft.Len())
+	base := func() *Registry {
+		r := &Registry{}
+		for i := int32(0); i < n; i++ {
+			r.Fragments = append(r.Fragments, RegistryFragment{Frag: i, Replicas: []int32{i % 2, i%2 + 2}})
+		}
+		return r
+	}
+	if _, err := base().Topology(ft); err != nil {
+		t.Fatalf("valid registry rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Registry)
+	}{
+		{"fragment out of range", func(r *Registry) { r.Fragments[0].Frag = n }},
+		{"fragment listed twice", func(r *Registry) { r.Fragments[1].Frag = r.Fragments[0].Frag }},
+		{"no replicas", func(r *Registry) { r.Fragments[0].Replicas = nil }},
+		{"groups disagree", func(r *Registry) { r.Fragments[2].Replicas = []int32{0, 3} }},
+		{"site serves two groups", func(r *Registry) { r.Fragments[1].Replicas = []int32{1, 2} }},
+	}
+	for _, c := range cases {
+		r := base()
+		c.mutate(r)
+		if _, err := r.Topology(ft); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Missing coverage needs a shorter list, not a mutation.
+	r := base()
+	r.Fragments = r.Fragments[:len(r.Fragments)-1]
+	if _, err := r.Topology(ft); err == nil {
+		t.Error("uncovered fragment: accepted")
+	}
+	if _, err := LoadRegistry(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file: accepted")
+	}
+}

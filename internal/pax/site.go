@@ -44,7 +44,11 @@ type Site struct {
 	// cache, when enabled, memoizes Stage-1 (qualifier pass) results per
 	// compiled query so repeated queries skip the fragment traversal
 	// entirely — see qualcache.go and package sitecache. Nil = disabled.
-	cache *sitecache.Cache[qualKey, *qualEntry]
+	// cacheSize/cacheTTL remember the configuration so Restart can
+	// re-create the cache the way a fresh process would start it.
+	cache     *sitecache.Cache[qualKey, *qualEntry]
+	cacheSize int
+	cacheTTL  time.Duration
 	// compiles counts compile-cache fills; qualPasses counts full Stage-1
 	// fragment sweeps. Test hooks for the single-compile and shared-batch
 	// evaluation guarantees.
@@ -669,6 +673,25 @@ func (s *Site) handleCollect(req *AnsStageReq) (*AnsStageResp, error) {
 	}
 	s.dropSessionIfDone(req.QID, sess)
 	return resp, nil
+}
+
+// Restart wipes every piece of state a process restart would lose: the
+// per-query sessions, and nothing else that affects answers — the
+// compiled-query cache and the Stage-1 memoization cache are
+// rebuildable, but a fresh process starts without them, so the Stage-1
+// cache is re-created empty at its configured size (generation back to
+// zero, like a new process). The fault harness calls this when a
+// simulated kill schedule "restarts" an in-process site; coordinators
+// mid-query at this site will find their sessions gone and must
+// re-establish (classifyStageError's in-place path).
+func (s *Site) Restart() {
+	s.mu.Lock()
+	s.sessions = make(map[QueryID]*session)
+	s.mu.Unlock()
+	if s.cache != nil {
+		s.EnableCache(s.cacheSize, s.cacheTTL)
+	}
+	s.compiled = newLRU[string, compiledQuery](defaultSiteCompileCache)
 }
 
 // handleFetch ships entire fragments (NaiveCentralized).

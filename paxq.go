@@ -142,6 +142,13 @@ type Stats struct {
 	ParallelCompute time.Duration
 	RelevantFrags   int
 	TotalFrags      int
+	// Retries counts stage calls of this query the failover layer attempted
+	// again after a retriable failure; Failovers counts how many of those
+	// rotated to a different replica. Both 0 on a fault-free run, where
+	// MaxSiteVisits obeys the paper's exact bound; under faults
+	// MaxSiteVisits <= bound * (1 + Retries).
+	Retries   int
+	Failovers int
 }
 
 // TransportKind selects how coordinator and sites communicate.
@@ -247,6 +254,35 @@ type ClusterOptions struct {
 	// (a full batch flushes before the window expires). 0 means a default
 	// of 16. Meaningful only with BatchWindow > 0.
 	MaxBatchSize int
+
+	// Replicas deploys every site as a replica group of this many members
+	// hosting identical fragment copies: the coordinator addresses the
+	// group's primary and fails over to the next replica when a site dies
+	// mid-query (re-establishing the query's session there), so answers
+	// survive site failures unchanged. 0 or 1 means no replication.
+	// Replication and BatchWindow are mutually exclusive per cluster: the
+	// failover fan-out bypasses the batcher.
+	Replicas int
+	// Registry, when non-empty, is the path of a site-registry JSON file
+	// (see pax.Registry) describing which replica sites host each fragment.
+	// It overrides Sites and Replicas: the topology — replica groups
+	// included — is exactly what the file says. The fragmentation options
+	// (Fragments/CutPaths/MaxFragmentNodes/Seed) must produce the fragment
+	// count the registry covers. NewCluster still instantiates every site
+	// itself (in-process or loopback TCP); the registry's address list is
+	// a deployment artifact for cmd/paxsite fleets and is not dialed here.
+	Registry string
+	// RetryMaxAttempts bounds how many attempts one stage call gets across
+	// a replica group before the query fails (first try included). 0 picks
+	// the default: 4 when replicated, 1 (no retrying) otherwise.
+	RetryMaxAttempts int
+	// RetryBackoff is the wait before the second attempt of a failed stage
+	// call; each further attempt doubles it. 0 with RetryMaxAttempts == 0
+	// keeps the default policy's 2ms.
+	RetryBackoff time.Duration
+	// RetryMaxBackoff caps the exponential backoff schedule. 0 with
+	// RetryMaxAttempts == 0 keeps the default policy's 50ms.
+	RetryMaxBackoff time.Duration
 }
 
 // Cluster is a fragmented, distributed document plus a coordinator. It is
@@ -295,7 +331,22 @@ func NewCluster(doc *Document, opts ClusterOptions) (*Cluster, error) {
 	if sites <= 0 {
 		sites = ft.Len()
 	}
-	topo := pax.RoundRobin(ft, sites)
+	var topo *pax.Topology
+	switch {
+	case opts.Registry != "":
+		reg, rerr := pax.LoadRegistry(opts.Registry)
+		if rerr != nil {
+			return nil, fmt.Errorf("paxq: %w", rerr)
+		}
+		topo, err = reg.Topology(ft)
+		if err != nil {
+			return nil, fmt.Errorf("paxq: %w", err)
+		}
+	case opts.Replicas > 1:
+		topo = pax.RoundRobinReplicated(ft, sites, opts.Replicas)
+	default:
+		topo = pax.RoundRobin(ft, sites)
+	}
 	c := &Cluster{ft: ft, topo: topo}
 	var siteOpts []pax.SiteOption
 	if opts.SiteParallelism > 0 {
@@ -319,6 +370,13 @@ func NewCluster(doc *Document, opts ClusterOptions) (*Cluster, error) {
 	}
 	if opts.BatchWindow > 0 {
 		engOpts = append(engOpts, pax.WithBatchWindow(opts.BatchWindow), pax.WithMaxBatchSize(opts.MaxBatchSize))
+	}
+	if opts.RetryMaxAttempts > 0 {
+		engOpts = append(engOpts, pax.WithRetryPolicy(pax.RetryPolicy{
+			MaxAttempts: opts.RetryMaxAttempts,
+			Backoff:     opts.RetryBackoff,
+			MaxBackoff:  opts.RetryMaxBackoff,
+		}))
 	}
 	switch opts.Transport {
 	case TransportLocal:
@@ -425,6 +483,8 @@ func (c *Cluster) QueryContext(ctx context.Context, query string, opts QueryOpti
 		ParallelCompute: res.ParallelCompute,
 		RelevantFrags:   res.RelevantFrags,
 		TotalFrags:      res.TotalFrags,
+		Retries:         res.Retries,
+		Failovers:       res.Failovers,
 	}
 	return answers, stats, nil
 }
@@ -467,10 +527,23 @@ type SiteCacheStats struct {
 	Generation    uint64
 }
 
+// FailoverStats are the coordinator's lifetime failover counters (all zero
+// without replication or retries): how often stage calls were retried,
+// rotated to a replica, how many transport-level dead-site detections were
+// observed, and how many query sessions were re-established by replaying
+// prior stages. Surfaced in TransportStats and paxserve's /metrics.
+type FailoverStats struct {
+	Retries               int64
+	Failovers             int64
+	DeadSiteDetections    int64
+	ReestablishedSessions int64
+}
+
 // TransportStats are the cluster transport's cumulative lifetime counters:
 // the sum of the cost of every site call ever made, across all queries —
-// plus the aggregated site-cache counters. Per-query accounting lives in
-// Stats; these totals feed monitoring (e.g. paxserve's /metrics endpoint).
+// plus the aggregated site-cache counters and the coordinator's failover
+// counters. Per-query accounting lives in Stats; these totals feed
+// monitoring (e.g. paxserve's /metrics endpoint).
 type TransportStats struct {
 	BytesSent     int64
 	BytesReceived int64
@@ -478,6 +551,7 @@ type TransportStats struct {
 	TotalVisits   int
 	SiteVisits    map[int]int
 	SiteCache     SiteCacheStats
+	Failover      FailoverStats
 }
 
 // TransportStats returns a snapshot of the transport's lifetime counters.
@@ -511,7 +585,78 @@ func (c *Cluster) TransportStats() TransportStats {
 		Entries:       agg.Entries,
 		Generation:    agg.Generation,
 	}
+	fs := c.engine.FailoverStats()
+	out.Failover = FailoverStats{
+		Retries:               fs.Retries,
+		Failovers:             fs.Failovers,
+		DeadSiteDetections:    fs.DeadSites,
+		ReestablishedSessions: fs.Reestablished,
+	}
 	return out
+}
+
+// Replicas returns the cluster's replication factor: the size of the
+// largest replica group (1 when unreplicated).
+func (c *Cluster) Replicas() int {
+	max := 1
+	for _, p := range c.topo.Primaries() {
+		if n := len(c.topo.ReplicasOf(p)); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// SaveRegistry writes the cluster's fragment-to-replica-site assignment as
+// a registry file (see ClusterOptions.Registry) — a deployment artifact
+// for reconstructing the same topology, e.g. across a cmd/paxsite fleet.
+// Addresses are included only for TCP clusters.
+func (c *Cluster) SaveRegistry(path string) error {
+	addrs := map[dist.SiteID]string{}
+	if tcp, ok := c.tr.(*dist.TCP); ok {
+		addrs = tcp.Addrs()
+	}
+	return pax.NewRegistry(c.topo, addrs).Save(path)
+}
+
+// DrillSiteOutage schedules a deterministic site outage on an in-process
+// cluster — the transport-level fault injection behind the harness,
+// exposed so a deployment can rehearse failover and watch its monitoring
+// move: the site's after-th upcoming call fails, the site stays
+// unreachable for the next down calls, and it then restarts with all
+// in-memory state (query sessions, Stage-1 cache, compiled queries)
+// wiped, exactly like a crashed and supervised process. On a replicated
+// cluster, or one with a retry policy, queries ride out the outage —
+// answers unchanged, the failover counters of TransportStats (and
+// paxserve's /metrics and /statsz) advancing — while an unprotected
+// cluster sees the affected query fail. Scheduling a drill replaces any
+// previous one; schedule only while no queries are in flight. TCP
+// clusters drill for real — kill the site's process — so an error is
+// returned for them and for unknown sites.
+func (c *Cluster) DrillSiteOutage(site, after, down int) error {
+	local, ok := c.tr.(*dist.Local)
+	if !ok {
+		return fmt.Errorf("paxq: outage drills are in-process only; on a TCP fleet, kill the site's process")
+	}
+	var target *pax.Site
+	for _, s := range c.sites {
+		if int(s.ID()) == site {
+			target = s
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("paxq: no site %d in this cluster", site)
+	}
+	if after < 1 {
+		after = 1
+	}
+	if down < 0 {
+		down = 0
+	}
+	plan := dist.NewFaultPlan(dist.SiteFault{Site: dist.SiteID(site), Call: after, Action: dist.FaultKill, Down: down})
+	plan.OnRestart = func(dist.SiteID) { target.Restart() }
+	local.FaultHook = plan.Hook
+	return nil
 }
 
 // BumpSiteCacheGeneration advances the fragment generation of every site's

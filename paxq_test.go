@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 const clienteleXML = `<clientele>
@@ -235,5 +236,121 @@ func TestStatsConsistency(t *testing.T) {
 	}
 	if stats.BytesSent <= 0 || stats.BytesReceived <= 0 || stats.Wall <= 0 {
 		t.Errorf("cost counters not positive: %+v", stats)
+	}
+}
+
+func TestReplicatedCluster(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{Fragments: 4, Sites: 2, Replicas: 2})
+	if got := c.Replicas(); got != 2 {
+		t.Fatalf("Replicas() = %d, want 2", got)
+	}
+	if got := c.Sites(); got != 4 {
+		t.Fatalf("Sites() = %d, want 4 (2 groups x 2 replicas)", got)
+	}
+	ans, stats, err := c.Query(`//broker[//stock/code = "GOOG"]/name`, QueryOptions{Algorithm: "pax3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := values(ans); len(got) != 2 || got[0] != "CIBC" || got[1] != "Etrade" {
+		t.Errorf("answers = %v", got)
+	}
+	if stats.Retries != 0 || stats.Failovers != 0 {
+		t.Errorf("fault-free stats report %d retries / %d failovers", stats.Retries, stats.Failovers)
+	}
+	if stats.MaxSiteVisits > 3 {
+		t.Errorf("MaxSiteVisits = %d > 3 on a fault-free replicated run", stats.MaxSiteVisits)
+	}
+	if fo := c.TransportStats().Failover; fo != (FailoverStats{}) {
+		t.Errorf("fault-free failover counters = %+v", fo)
+	}
+}
+
+func TestDrillSiteOutage(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{Fragments: 4, Sites: 2, Replicas: 2})
+	if err := c.DrillSiteOutage(99, 1, 2); err == nil {
+		t.Error("drill against an absent site accepted")
+	}
+	if err := c.DrillSiteOutage(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	ans, stats, err := c.Query(`//broker[//stock/code = "GOOG"]/name`, QueryOptions{Algorithm: "pax3"})
+	if err != nil {
+		t.Fatalf("query did not survive the drilled outage: %v", err)
+	}
+	if got := values(ans); len(got) != 2 || got[0] != "CIBC" || got[1] != "Etrade" {
+		t.Errorf("answers = %v", got)
+	}
+	if stats.Failovers == 0 || stats.Retries == 0 {
+		t.Errorf("drilled outage left no failover trace: %d retries / %d failovers", stats.Retries, stats.Failovers)
+	}
+	if bound := 3 * (1 + stats.Retries); stats.MaxSiteVisits > bound {
+		t.Errorf("MaxSiteVisits = %d > failover bound %d", stats.MaxSiteVisits, bound)
+	}
+	if fo := c.TransportStats().Failover; fo.Failovers == 0 {
+		t.Errorf("lifetime failover counters unmoved: %+v", fo)
+	}
+
+	tcp := demoCluster(t, ClusterOptions{Fragments: 4, Sites: 2, Replicas: 2, Transport: TransportTCP})
+	if err := tcp.DrillSiteOutage(0, 1, 2); err == nil {
+		t.Error("outage drill on a TCP fleet accepted; it is in-process only")
+	}
+}
+
+func TestClusterRegistryRoundTrip(t *testing.T) {
+	c := demoCluster(t, ClusterOptions{Fragments: 4, Sites: 2, Replicas: 2, Seed: 7})
+	path := t.TempDir() + "/registry.json"
+	if err := c.SaveRegistry(path); err != nil {
+		t.Fatal(err)
+	}
+	// A cluster rebuilt from the registry (same fragmentation options) must
+	// reproduce topology and answers.
+	c2 := demoCluster(t, ClusterOptions{Fragments: 4, Seed: 7, Registry: path})
+	if c2.Replicas() != 2 || c2.Sites() != 4 {
+		t.Fatalf("registry cluster: %d replicas over %d sites, want 2 over 4", c2.Replicas(), c2.Sites())
+	}
+	want, err := c.Evaluate(`//broker[//stock/code = "GOOG"]/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Evaluate(`//broker[//stock/code = "GOOG"]/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("registry cluster answered %v, original %v", values(got), values(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("answer %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	// A registry that does not cover the fragmentation is rejected.
+	if _, err := NewCluster(mustDoc(t), ClusterOptions{Fragments: 3, Seed: 7, Registry: path}); err == nil {
+		t.Error("registry with the wrong fragment count accepted")
+	}
+	if _, err := NewCluster(mustDoc(t), ClusterOptions{Fragments: 4, Registry: path + ".absent"}); err == nil {
+		t.Error("missing registry file accepted")
+	}
+}
+
+func mustDoc(t *testing.T) *Document {
+	t.Helper()
+	doc, err := ParseDocumentString(clienteleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestRetryPolicyOnUnreplicatedCluster(t *testing.T) {
+	// RetryMaxAttempts on an unreplicated cluster is valid (repairs session
+	// loss in place) and changes nothing fault-free.
+	c := demoCluster(t, ClusterOptions{Fragments: 4, Sites: 2, RetryMaxAttempts: 3, RetryBackoff: time.Millisecond})
+	ans, stats, err := c.Query(`//name`, QueryOptions{Algorithm: "pax2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) == 0 || stats.Retries != 0 {
+		t.Errorf("answers=%d retries=%d", len(ans), stats.Retries)
 	}
 }

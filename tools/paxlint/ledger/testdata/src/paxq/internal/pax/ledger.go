@@ -53,3 +53,33 @@ func conservationCheck(tr transport, perQuerySum int64) bool {
 	_ = tr.Metrics()
 	return perQuerySum >= 0
 }
+
+// Failover path: the aborted-call attribution rule says a replayed or
+// failed-but-completed call's cost is charged to the query that caused
+// it, from the CallCost the call itself returned — per-call arithmetic,
+// exactly like the batch split above.
+func chargeFailedAttempt(perQuery *int64, callCost int64) {
+	*perQuery += callCost
+}
+
+// Reconstructing a failed attempt's cost from the shared lifetime
+// counters instead would double-count it against the next conservation
+// check — the analyzer rejects the read.
+func badAbortedCallAttribution(tr transport, perQuery *int64) {
+	m := tr.Metrics() // want `shared transport metrics accessed outside internal/dist`
+	_ = m
+	*perQuery++
+}
+
+// The fault harness's conservation check is the one legitimate reader:
+// Σ per-query ledgers vs the lifetime totals IS the invariant, asserted
+// only on abort-free schedules (an aborted query's partial costs stay on
+// the lifetime side alone).
+func faultScheduleConservation(tr transport, perQuerySum int64, aborted int) bool {
+	if aborted > 0 {
+		return true
+	}
+	//paxlint:allow ledger(fault-harness conservation check: comparing per-query sums against the lifetime totals read-only)
+	_ = tr.Metrics()
+	return perQuerySum >= 0
+}
