@@ -8,7 +8,7 @@ COVER_MIN ?= 85
 # Per-target budget of the fuzz smoke in the check gate.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke vector-smoke batch-smoke fault-smoke docs-check lint lint-fixtures bench
+.PHONY: check build vet test test-race cover fuzz-smoke codec-smoke vector-smoke batch-smoke fault-smoke edit-smoke docs-check lint lint-fixtures bench
 
 # The tier-1 verification gate: everything must compile, vet clean, pass,
 # stay race-free under the concurrent serving load tests, hold the
@@ -20,7 +20,7 @@ FUZZTIME ?= 10s
 # byte-identical to centralized evaluation on a seeded fault schedule
 # over both transports, keep the documentation honest, and hold the
 # machine-checked invariants of tools/paxlint.
-check: build vet test test-race cover codec-smoke vector-smoke batch-smoke fault-smoke fuzz-smoke docs-check lint
+check: build vet test test-race cover codec-smoke vector-smoke batch-smoke fault-smoke edit-smoke fuzz-smoke docs-check lint
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,17 @@ batch-smoke:
 # `test` (TestFaultInjectionLocal / TestFaultInjectionTCP).
 fault-smoke:
 	$(GO) test -run='TestFaultSmoke' ./internal/harness
+
+# Mutation smoke: a fixed-seed slice of the mutation differential (edit
+# schedules interleaved with queries on both transports, answers checked
+# against a rebuilt centralized oracle, scoped-vs-bump twins compared),
+# plus the version-protocol and public-API edit regressions. The full
+# >=500-case-per-transport corpus runs in `test`
+# (TestEditDifferentialLocalCorpus / TestEditDifferentialTCPCorpus).
+edit-smoke:
+	$(GO) test -run='TestEditSmoke' ./internal/harness
+	$(GO) test -run='TestEditVersionProtocol|TestEditOneVersionAnswersAndStalePut' ./internal/pax
+	$(GO) test -run='TestApplyEdit' .
 
 # Documentation gate: vet plus tools/docscheck, which fails on exported
 # identifiers of the public paxq package missing doc comments, on cmd/*

@@ -67,7 +67,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, fault, concurrent, codec, cache, vector, batch or all")
+	exp := flag.String("exp", "all", "experiment: 1, 2, 3, traffic, t2, queries, diff, fault, concurrent, codec, cache, vector, batch, edit or all")
 	scale := flag.Float64("scale", 0.02, "data scale relative to the paper's 100MB baseline")
 	runs := flag.Int("runs", 3, "runs per data point (median reported)")
 	steps := flag.Int("steps", 10, "experiment 2/3 iterations")
@@ -257,6 +257,14 @@ func main() {
 		fmt.Println(rep)
 		writeJSON(rep)
 	}
+	runEdit := func() {
+		rep, err := harness.EditBench(ctx, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+		writeJSON(rep)
+	}
 	runQueries := func() {
 		fmt.Println("Fig. 7 — experiment queries:")
 		names := make([]string, 0, len(harness.PaperQueries))
@@ -293,6 +301,8 @@ func main() {
 		runVector()
 	case "batch":
 		runBatch()
+	case "edit":
+		runEdit()
 	case "t2":
 		runT2()
 	case "queries":

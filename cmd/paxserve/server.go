@@ -29,6 +29,8 @@ type server struct {
 	errors     atomic.Int64 // failed evaluations (bad query, site failure)
 	overloaded atomic.Int64 // evaluations shed by admission control
 	timeouts   atomic.Int64 // evaluations that hit a deadline
+	edits      atomic.Int64 // applied fragment edits
+	editErrors atomic.Int64 // rejected or failed fragment edits
 }
 
 // queryRequest is the POST /query body. GET /query?q=... fills only Query
@@ -61,6 +63,7 @@ func newServer(cluster *paxq.Cluster, timeout time.Duration) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/edit", s.handleEdit)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -135,6 +138,80 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, queryResponse{Answers: answers, Stats: stats})
 }
 
+// editRequest is the POST /edit body: one fragment mutation, addressed by
+// the fragment-local node IDs /query answers report.
+type editRequest struct {
+	Fragment int    `json:"fragment"`
+	Op       string `json:"op"`             // "insert", "delete" or "rename"
+	Node     int    `json:"node"`           // delete/rename target; insert parent
+	Pos      int    `json:"pos,omitempty"`  // insert slot among Node's children
+	Label    string `json:"label,omitempty"`
+	// SubtreeXML is the insert payload, a single-rooted XML snippet.
+	SubtreeXML string `json:"subtree_xml,omitempty"`
+}
+
+// editResponse is the /edit response body.
+type editResponse struct {
+	Result *paxq.EditResult `json:"result"`
+}
+
+// handleEdit applies one fragment edit through the cluster: every replica
+// hosting the fragment moves to the new version, and only the cached
+// Stage-1 state the edit can affect is invalidated (watch
+// sitecache_scoped_retained in /metrics move). In-flight queries keep
+// their consistent pre-edit view; queries arriving after the response see
+// the edit.
+func (s *server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST /edit"})
+		return
+	}
+	var req editRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	var op paxq.EditOp
+	switch strings.ToLower(req.Op) {
+	case "insert":
+		op = paxq.EditInsert
+	case "delete":
+		op = paxq.EditDelete
+	case "rename":
+		op = paxq.EditRename
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown edit op %q (want insert, delete or rename)", req.Op)})
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	res, err := s.cluster.ApplyEditContext(ctx, paxq.Edit{
+		Fragment:   req.Fragment,
+		Op:         op,
+		Node:       req.Node,
+		Pos:        req.Pos,
+		Label:      req.Label,
+		SubtreeXML: req.SubtreeXML,
+	})
+	if err != nil {
+		s.editErrors.Add(1)
+		status := http.StatusBadRequest
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.timeouts.Add(1)
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	s.edits.Add(1)
+	writeJSON(w, http.StatusOK, editResponse{Result: res})
+}
+
 // statusClientClosedRequest is nginx's non-standard 499: the client
 // disconnected before the evaluation finished.
 const statusClientClosedRequest = 499
@@ -181,6 +258,8 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		"errors":          s.errors.Load(),
 		"overloaded":      s.overloaded.Load(),
 		"timeouts":        s.timeouts.Load(),
+		"edits":           s.edits.Load(),
+		"edit_errors":     s.editErrors.Load(),
 		"uptime_seconds":  uptime.Seconds(),
 		"queries_per_sec": qps,
 		"sitecache": map[string]any{
@@ -189,6 +268,8 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"evictions":             cache.Evictions,
 			"expirations":           cache.Expirations,
 			"invalidations":         cache.Invalidations,
+			"scoped_invalidations":  cache.ScopedInvalidations,
+			"scoped_retained":       cache.ScopedRetained,
 			"entries":               cache.Entries,
 			"generation":            cache.Generation,
 			"saved_compute_seconds": cache.SavedCompute.Seconds(),
@@ -215,6 +296,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("paxserve_errors_total", "Failed evaluations.", s.errors.Load())
 	counter("paxserve_overloaded_total", "Evaluations shed by admission control.", s.overloaded.Load())
 	counter("paxserve_timeouts_total", "Evaluations that exceeded a deadline.", s.timeouts.Load())
+	counter("paxserve_edits_total", "Applied fragment edits.", s.edits.Load())
+	counter("paxserve_edit_errors_total", "Rejected or failed fragment edits.", s.editErrors.Load())
 	counter("paxserve_transport_sent_bytes_total", "Bytes sent coordinator to sites.", ts.BytesSent)
 	counter("paxserve_transport_received_bytes_total", "Bytes received from sites.", ts.BytesReceived)
 	counter("paxserve_transport_site_visits_total", "Site calls completed.", ts.TotalVisits)
@@ -224,6 +307,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("paxserve_sitecache_evictions_total", "Stage-1 cache entries displaced by capacity.", ts.SiteCache.Evictions)
 	counter("paxserve_sitecache_expirations_total", "Stage-1 cache entries dropped by TTL.", ts.SiteCache.Expirations)
 	counter("paxserve_sitecache_invalidations_total", "Stage-1 cache entries dropped by generation bumps.", ts.SiteCache.Invalidations)
+	counter("paxserve_sitecache_scoped_invalidations_total", "Stage-1 cache entries a fragment edit had to drop.", ts.SiteCache.ScopedInvalidations)
+	counter("paxserve_sitecache_scoped_retained_total", "Stage-1 cache entries carried across a fragment edit.", ts.SiteCache.ScopedRetained)
 	counter("paxserve_sitecache_saved_compute_seconds_total", "Site computation avoided by cache hits.", ts.SiteCache.SavedCompute.Seconds())
 	counter("paxserve_failover_retries_total", "Stage calls retried after a retriable failure.", ts.Failover.Retries)
 	counter("paxserve_failovers_total", "Stage calls rotated to a replica site.", ts.Failover.Failovers)

@@ -98,6 +98,29 @@ func (b Bitset) Any() bool {
 	return false
 }
 
+// AnyInRange reports whether any member lies in [lo, hi). An empty or
+// inverted range reports false.
+func (b Bitset) AnyInRange(lo, hi int) bool {
+	if lo >= hi {
+		return false
+	}
+	lw, hw := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if lw == hw {
+		return b[lw]&loMask&hiMask != 0
+	}
+	if b[lw]&loMask != 0 {
+		return true
+	}
+	for w := lw + 1; w < hw; w++ {
+		if b[w] != 0 {
+			return true
+		}
+	}
+	return b[hw]&hiMask != 0
+}
+
 // ForEachSet calls fn for every member, ascending.
 func (b Bitset) ForEachSet(fn func(i int)) {
 	for wi, w := range b {

@@ -140,3 +140,27 @@ func TestJoinAllocs(t *testing.T) {
 		t.Fatalf("structural joins allocate %.1f times per run, want 0", allocs)
 	}
 }
+
+func TestAnyInRange(t *testing.T) {
+	b := NewBitset(200)
+	for _, i := range []int{0, 63, 64, 130, 199} {
+		b.Set(i)
+	}
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{0, 1, true}, {1, 63, false}, {1, 64, true}, {64, 65, true},
+		{65, 130, false}, {65, 131, true}, {131, 199, false},
+		{131, 200, true}, {5, 5, false}, {10, 5, false}, {0, 200, true},
+	}
+	for _, c := range cases {
+		if got := b.AnyInRange(c.lo, c.hi); got != c.want {
+			t.Errorf("AnyInRange(%d, %d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+	empty := NewBitset(100)
+	if empty.AnyInRange(0, 100) {
+		t.Error("empty set reported a member")
+	}
+}

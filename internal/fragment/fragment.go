@@ -46,7 +46,13 @@ type Fragment struct {
 	// corresponding node in the original tree; a virtual node maps to the
 	// original root of the sub-fragment it stands for. Used by tests and
 	// by answer reporting; the evaluation algorithms never consult it.
+	// Nil after an edit (ApplyEdit) until RecomputeOrigins runs.
 	Origin []xmltree.NodeID
+
+	// Version counts the edits applied to this fragment since it was cut
+	// (or loaded). Sites use it for optimistic concurrency: an EditReq
+	// carries the version it was prepared against and fails on mismatch.
+	Version uint64
 
 	virtuals map[xmltree.NodeID]FragID
 

@@ -25,6 +25,9 @@ type ManifestEntry struct {
 	RootLabel  string   `json:"rootLabel"`
 	Annotation []string `json:"annotation,omitempty"`
 	Children   []FragID `json:"children,omitempty"`
+	// Version is the fragment's edit version at save time (see
+	// Fragment.Version); omitted while zero for manifest compatibility.
+	Version uint64 `json:"version,omitempty"`
 }
 
 // Manifest indexes a fragmentation saved to a directory: the deployment
@@ -64,6 +67,7 @@ func (ft *Fragmentation) Save(dir string) error {
 			RootLabel:  f.Tree.Root.Label,
 			Annotation: f.Annotation,
 			Children:   append([]FragID(nil), ft.Children(f.ID)...),
+			Version:    f.Version,
 		})
 	}
 	data, err := json.MarshalIndent(&m, "", "  ")
@@ -150,7 +154,7 @@ func (m *Manifest) LoadFragment(dir string, id FragID) (*Fragment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fragment: parse %s: %w", e.File, err)
 	}
-	f := &Fragment{ID: id, Parent: e.Parent, Annotation: e.Annotation, virtuals: make(map[xmltree.NodeID]FragID)}
+	f := &Fragment{ID: id, Parent: e.Parent, Annotation: e.Annotation, Version: e.Version, virtuals: make(map[xmltree.NodeID]FragID)}
 	var convert func(n *xmltree.Node) error
 	convert = func(n *xmltree.Node) error {
 		if n.Kind == xmltree.Element && n.Label == RefLabel {
@@ -214,7 +218,7 @@ func (m *Manifest) Skeleton() (*Fragmentation, error) {
 			root.Append(xmltree.NewElement(VirtualLabel))
 		}
 		tree := xmltree.NewTree(root)
-		f := &Fragment{ID: e.ID, Parent: e.Parent, Annotation: e.Annotation, Tree: tree, virtuals: make(map[xmltree.NodeID]FragID)}
+		f := &Fragment{ID: e.ID, Parent: e.Parent, Annotation: e.Annotation, Version: e.Version, Tree: tree, virtuals: make(map[xmltree.NodeID]FragID)}
 		for j, child := range e.Children {
 			f.virtuals[root.Children[j].ID] = child
 		}

@@ -87,6 +87,16 @@ type DiffOptions struct {
 	// checked against its transport's lifetime totals — the batch
 	// cost-conservation invariant.
 	CompareBatch bool
+	// CompareEdits additionally runs the mutation differential phase: a
+	// randomized schedule of fragment edits (insert/delete/rename)
+	// interleaved with queries on a dedicated pair of cached twins — one
+	// with delta-scoped invalidation, one that wipes every site cache
+	// after every edit — requiring every answer byte-identical to a
+	// centralized evaluator rebuilt from the freshly reassembled post-edit
+	// document, the two twins mutually indistinguishable (answers, visits,
+	// bytes), and the scoped twin's per-query + per-edit ledgers to equal
+	// its transport's lifetime totals. See editdiff.go.
+	CompareEdits bool
 }
 
 // DiffResult aggregates the checks of one or more differential runs.
@@ -104,6 +114,10 @@ type DiffResult struct {
 	VectorDiffs    int // vector vs scalar disagreed (answers/visits/bytes)
 	BatchCases     int // batching-twin evaluations (serial and concurrent)
 	BatchDiffs     int // batch twin diverged, or its ledgers failed to conserve
+	EditCases      int // mutation-phase evaluations (scoped and bump twins)
+	EditDiffs      int // post-edit divergence from the rebuilt oracle, twin disagreement, edit failure, or ledger violation
+	EditsApplied   int // fragment edits driven through the engines
+	EditRetained   int // cache entries surviving delta-scoped invalidation (remapped or patched)
 	MaxVisitsPaX3  int
 	MaxVisitsPaX2  int
 	FailureDetails []string // first few failures, for the test log
@@ -124,6 +138,10 @@ func (r *DiffResult) Merge(other *DiffResult) {
 	r.VectorDiffs += other.VectorDiffs
 	r.BatchCases += other.BatchCases
 	r.BatchDiffs += other.BatchDiffs
+	r.EditCases += other.EditCases
+	r.EditDiffs += other.EditDiffs
+	r.EditsApplied += other.EditsApplied
+	r.EditRetained += other.EditRetained
 	if other.MaxVisitsPaX3 > r.MaxVisitsPaX3 {
 		r.MaxVisitsPaX3 = other.MaxVisitsPaX3
 	}
@@ -137,12 +155,12 @@ func (r *DiffResult) Merge(other *DiffResult) {
 
 // Ok reports whether every check of every merged run held.
 func (r *DiffResult) Ok() bool {
-	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0 && r.CodecDiffs == 0 && r.CacheDiffs == 0 && r.VectorDiffs == 0 && r.BatchDiffs == 0
+	return r.Mismatches == 0 && r.BoundExceeded == 0 && r.ParallelDiffs == 0 && r.CodecDiffs == 0 && r.CacheDiffs == 0 && r.VectorDiffs == 0 && r.BatchDiffs == 0 && r.EditDiffs == 0
 }
 
 func (r *DiffResult) String() string {
-	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences, %d codec/simplify divergences, %d/%d cached-twin divergences (%d cache hits), %d/%d vector-twin divergences, %d/%d batch-twin divergences (max visits: PaX3 %d, PaX2 %d)",
-		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.CodecDiffs, r.CacheDiffs, r.CacheCases, r.CacheHits, r.VectorDiffs, r.VectorCases, r.BatchDiffs, r.BatchCases, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
+	return fmt.Sprintf("differential: %d evaluations over %d triples — %d mismatches, %d visit-bound violations, %d parallel/sequential divergences, %d codec/simplify divergences, %d/%d cached-twin divergences (%d cache hits), %d/%d vector-twin divergences, %d/%d batch-twin divergences, %d/%d edit-twin divergences (%d edits applied, %d entries scope-retained) (max visits: PaX3 %d, PaX2 %d)",
+		r.Cases, r.Triples, r.Mismatches, r.BoundExceeded, r.ParallelDiffs, r.CodecDiffs, r.CacheDiffs, r.CacheCases, r.CacheHits, r.VectorDiffs, r.VectorCases, r.BatchDiffs, r.BatchCases, r.EditDiffs, r.EditCases, r.EditsApplied, r.EditRetained, r.MaxVisitsPaX3, r.MaxVisitsPaX2)
 }
 
 // xmarkLabels is the vocabulary random xmark-shaped queries draw from.
@@ -644,6 +662,11 @@ func RunDifferential(ctx context.Context, seed int64, opts DiffOptions) (*DiffRe
 				fail("seed %d %s: batch ledger conservation violated: Σ per-query %d/%d bytes, %v compute; transport %d/%d bytes, %v compute",
 					seed, opts.Transport, batchSent, batchRecv, batchCompute, tSent, tRecv, m.TotalCompute())
 			}
+		}
+	}
+	if opts.CompareEdits {
+		if err := runEditPhase(ctx, seed, opts, res, r, tree, isXMark, fail); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil

@@ -121,13 +121,14 @@ func TestDifferentialExtendedSweep(t *testing.T) {
 		CompareCache:    true,
 		CompareVector:   true,
 		CompareBatch:    true,
+		CompareEdits:    true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	requireClean(t, res)
 
-	tcpRes, err := DifferentialSweep(context.Background(), 2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true, CompareCache: true, CompareVector: true, CompareBatch: true})
+	tcpRes, err := DifferentialSweep(context.Background(), 2000, 20, DiffOptions{Transport: DiffTCP, CompareParallel: true, CompareCodecs: true, CompareCache: true, CompareVector: true, CompareBatch: true, CompareEdits: true})
 	if err != nil {
 		t.Fatal(err)
 	}

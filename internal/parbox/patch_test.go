@@ -1,0 +1,155 @@
+package parbox
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"paxq/internal/boolexpr"
+	"paxq/internal/fragment"
+	"paxq/internal/testutil"
+	"paxq/internal/xmltree"
+	"paxq/internal/xpath"
+)
+
+// randomValidEdit builds an edit ApplyEdit will accept: an element target
+// that is not the root, not virtual and (for delete/rename) not on the
+// spine.
+func randomValidEdit(r *rand.Rand, f *fragment.Fragment) (fragment.Edit, bool) {
+	av := f.Arena()
+	for try := 0; try < 200; try++ {
+		id := xmltree.NodeID(r.Intn(f.Size()))
+		n := f.Tree.Node(id)
+		if !n.IsElement() || f.IsVirtual(n) {
+			continue
+		}
+		switch r.Intn(3) {
+		case 0:
+			sub := xmltree.El("patch", xmltree.ElT("v", fmt.Sprint(r.Intn(50))))
+			return fragment.Edit{Op: fragment.EditInsert, Node: id, Pos: r.Intn(len(n.Children) + 1), Subtree: sub}, true
+		case 1:
+			if n.Parent == nil || av.SpineMask.Get(int(id)) {
+				continue
+			}
+			if f.Size()-(int(av.Tree.SubtreeEnd[id])-int(id)) < 2 {
+				continue
+			}
+			return fragment.Edit{Op: fragment.EditDelete, Node: id}, true
+		default:
+			if n.Parent == nil || av.SpineMask.Get(int(id)) {
+				continue
+			}
+			return fragment.Edit{Op: fragment.EditRename, Node: id, Label: fmt.Sprintf("r%d", r.Intn(4))}, true
+		}
+	}
+	return fragment.Edit{}, false
+}
+
+// TestPatchMatchesFresh chains random edits on every fragment of random
+// fragmentations and demands that the patched vector state reproduces both
+// the fresh vector pass and the scalar pass byte-for-byte after each step.
+func TestPatchMatchesFresh(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		tree := testutil.RandomTree(seed, 60+int(seed%4)*40)
+		ft, err := fragment.Cut(tree, fragment.RandomCuts(tree, int(seed%6), seed+1))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r := rand.New(rand.NewSource(seed * 31))
+		for q := int64(0); q < 3; q++ {
+			query := testutil.RandomQuery(seed*100 + q)
+			c, err := xpath.Compile(query)
+			if err != nil {
+				t.Fatalf("compile %q: %v", query, err)
+			}
+			vs := NewVarScheme(c, ft.Len())
+			for _, f := range ft.Frags {
+				st := NewVectorState(f, c, vs)
+				cur := f
+				for step := 0; step < 4; step++ {
+					e, ok := randomValidEdit(r, cur)
+					if !ok {
+						break
+					}
+					nf, delta, err := cur.ApplyEdit(e)
+					if err != nil {
+						t.Fatalf("seed %d %q: valid edit rejected: %v", seed, query, err)
+					}
+					st.Patch(nf, delta)
+					tag := fmt.Sprintf("seed %d frag %d step %d (%v) %q", seed, f.ID, step, e.Op, query)
+					requireIdentical(t, tag, EvalQualFragment(nf, c, vs), st.FragQual())
+					cur = nf
+				}
+			}
+		}
+	}
+}
+
+// TestEvalQualSubtreeMatchesFull inserts subtrees and checks the mini-pass
+// rows against the full fresh evaluation at exactly the inserted interval.
+func TestEvalQualSubtreeMatchesFull(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		tree := testutil.RandomTree(seed+50, 80)
+		ft, err := fragment.Cut(tree, fragment.RandomCuts(tree, 3, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		query := testutil.RandomQuery(seed + 900)
+		c, err := xpath.Compile(query)
+		if err != nil {
+			t.Fatalf("compile %q: %v", query, err)
+		}
+		if !c.HasQualifiers() {
+			continue
+		}
+		vs := NewVarScheme(c, ft.Len())
+		f := ft.Frag(fragment.FragID(r.Intn(ft.Len())))
+		var target xmltree.NodeID = -1
+		for _, nd := range f.Tree.PreorderNodes() {
+			if nd.IsElement() && !f.IsVirtual(nd) {
+				target = nd.ID
+			}
+		}
+		sub := xmltree.El("q", xmltree.ElT("w", "3"), xmltree.El("q"))
+		nf, delta, err := f.ApplyEdit(fragment.Edit{Op: fragment.EditInsert, Node: target, Subtree: sub})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		lo, hi := int(delta.At), int(delta.At)+delta.NewLen
+		got := EvalQualSubtree(nf, c, lo, hi)
+		full := EvalQualFragmentVector(nf, c, vs)
+		count := 0
+		for i := lo; i < hi; i++ {
+			id := xmltree.NodeID(i)
+			wrow, inFull := full.SelQual[id]
+			grow, inMini := got[id]
+			if inFull != inMini {
+				t.Fatalf("seed %d node %d: full has row %v, mini %v", seed, id, inFull, inMini)
+			}
+			if !inFull {
+				continue
+			}
+			count++
+			for s := range wrow {
+				if (wrow[s] == nil) != (grow[s] == nil) {
+					t.Fatalf("seed %d node %d entry %d: nil-ness diverges", seed, id, s)
+				}
+				if wrow[s] == nil {
+					continue
+				}
+				if !bytes.Equal(boolexpr.Encode(wrow[s]), boolexpr.Encode(grow[s])) {
+					t.Fatalf("seed %d node %d entry %d: %v vs %v", seed, id, s, wrow[s], grow[s])
+				}
+			}
+		}
+		if count == 0 {
+			t.Fatalf("seed %d: inserted interval produced no element rows", seed)
+		}
+	}
+}

@@ -32,13 +32,36 @@ import (
 	"paxq/internal/xpath"
 )
 
-// vecEval carries the per-call state of one vectorized qualifier pass.
-type vecEval struct {
+// VectorState is the retained bit-packed state of one vectorized qualifier
+// pass over a fragment: the per-predicate QV/QCV/SDV masks plus the
+// real-element base mask, pinned to the fragment they were computed
+// against. A fresh pass builds it with NewVectorState; a site that keeps
+// the state alongside its cached Stage-1 result can Patch it through a
+// fragment edit (see patch.go) instead of re-sweeping the fragment.
+type VectorState struct {
+	f  *fragment.Fragment
+	c  *xpath.Compiled
+	vs VarScheme
+
 	at       *arena.Tree
+	av       *fragment.ArenaView
 	n        int
 	realElem arena.Bitset // element nodes that are not virtual
+	qvM      []arena.Bitset
 	qcvM     []arena.Bitset
 	sdvM     []arena.Bitset
+}
+
+// Fragment returns the fragment version the state currently describes.
+func (st *VectorState) Fragment() *fragment.Fragment { return st.f }
+
+// NewVectorState runs the mask-building half of the vectorized qualifier
+// pass and retains the result for later FragQual builds and Patch calls.
+func NewVectorState(f *fragment.Fragment, c *xpath.Compiled, vs VarScheme) *VectorState {
+	av := f.Arena()
+	st := &VectorState{f: f, c: c, vs: vs, at: av.Tree, av: av, n: av.Tree.Len()}
+	st.sweep()
+	return st
 }
 
 // termHolds evaluates a text()/val() comparison at arena node i from the
@@ -56,7 +79,7 @@ func termHolds(at *arena.Tree, i int, term xpath.TermKind, op xpath.CmpOp, str s
 // mask computes the node mask of a compiled qualifier — EvalQExpr with
 // bit-parallel AND/OR/NOT in place of formula constructors. Entries outside
 // realElem may be garbage; callers read ground positions only.
-func (e *vecEval) mask(q xpath.QExpr) arena.Bitset {
+func (e *VectorState) mask(q xpath.QExpr) arena.Bitset {
 	m := arena.NewBitset(e.n)
 	switch q := q.(type) {
 	case xpath.QTrue:
@@ -91,36 +114,26 @@ func (e *vecEval) mask(q xpath.QExpr) arena.Bitset {
 	return m
 }
 
-// EvalQualFragmentVector runs the bottom-up qualifier pass over the
-// fragment's arena layout, producing a FragQual byte-identical to
-// EvalQualFragment's (see the file comment for why). Selected by the
-// vector-evaluator Site option; default remains the scalar pass.
-func EvalQualFragmentVector(f *fragment.Fragment, c *xpath.Compiled, vs VarScheme) *FragQual {
-	av := f.Arena()
-	at := av.Tree
-	n := at.Len()
-	nP := len(c.Preds)
-	nSel := len(c.Sel)
-
-	e := &vecEval{
-		at:       at,
-		n:        n,
-		realElem: arena.NewBitset(n),
-		qcvM:     make([]arena.Bitset, nP),
-		sdvM:     make([]arena.Bitset, nP),
-	}
+// sweep computes every predicate mask from scratch — the mask-building
+// half of the vectorized pass.
+func (e *VectorState) sweep() {
+	at, n := e.at, e.n
+	nP := len(e.c.Preds)
+	e.realElem = arena.NewBitset(n)
+	e.qvM = make([]arena.Bitset, nP)
+	e.qcvM = make([]arena.Bitset, nP)
+	e.sdvM = make([]arena.Bitset, nP)
 	// Virtual nodes carry the reserved "#fragment" label, which no query
 	// label can collide with, but a wildcard test would match them — the
 	// base mask therefore starts from real elements only.
-	e.realElem.SetAndNot(at.Elements(), av.VirtualMask)
+	e.realElem.SetAndNot(at.Elements(), e.av.VirtualMask)
 
 	// Predicate masks in ascending order: the compiler appends a
 	// continuation (and any anchored predicate) before the predicate that
 	// references it, so every Pred mentions only smaller indices.
-	qvM := make([]arena.Bitset, nP)
 	rank := make([]int32, at.RankLen())
 	for p := 0; p < nP; p++ {
-		pr := &c.Preds[p]
+		pr := &e.c.Preds[p]
 		m := arena.NewBitset(n)
 		if pr.Test.Wild {
 			m.CopyFrom(e.realElem)
@@ -144,7 +157,7 @@ func EvalQualFragmentVector(f *fragment.Fragment, c *xpath.Compiled, vs VarSchem
 				m.SetAnd(m, e.sdvM[pr.Next])
 			}
 		}
-		qvM[p] = m
+		e.qvM[p] = m
 		// The structural joins: QCV by scattering to parents, strict QDV by
 		// an interval scan over the subtree ranges.
 		e.qcvM[p] = arena.NewBitset(n)
@@ -152,6 +165,25 @@ func EvalQualFragmentVector(f *fragment.Fragment, c *xpath.Compiled, vs VarSchem
 		e.sdvM[p] = arena.NewBitset(n)
 		at.StrictDescendants(m, rank, e.sdvM[p])
 	}
+}
+
+// EvalQualFragmentVector runs the bottom-up qualifier pass over the
+// fragment's arena layout, producing a FragQual byte-identical to
+// EvalQualFragment's (see the file comment for why). Selected by the
+// vector-evaluator Site option; default remains the scalar pass.
+func EvalQualFragmentVector(f *fragment.Fragment, c *xpath.Compiled, vs VarScheme) *FragQual {
+	return NewVectorState(f, c, vs).FragQual()
+}
+
+// FragQual materializes the Stage-1 result from the state's masks: ground
+// SelQual rows straight from the masks, spine rows and root vectors from
+// the literal scalar recurrence.
+func (e *VectorState) FragQual() *FragQual {
+	f, c, vs := e.f, e.c, e.vs
+	av, n := e.av, e.n
+	nP := len(c.Preds)
+	nSel := len(c.Sel)
+	qvM := e.qvM
 
 	out := &FragQual{}
 	needSel := c.HasQualifiers()

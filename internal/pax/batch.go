@@ -42,8 +42,6 @@ import (
 	"time"
 
 	"paxq/internal/dist"
-	"paxq/internal/fragment"
-	"paxq/internal/parbox"
 )
 
 // defaultMaxBatchSize caps a batch when WithBatchWindow is set without an
@@ -478,6 +476,11 @@ func (s *Site) batchQuals(msgs []any, handled []bool, resp *BatchStageResp, fail
 	type groupKey struct {
 		fp string
 		nf int32
+		// gen separates members whose sessions snapshotted different
+		// fragment generations (an edit landed between their session
+		// creations): one group shares a single sweep over ONE snapshot, so
+		// members pinned to different snapshots must not coalesce.
+		gen uint64
 	}
 	groups := make(map[groupKey][]member)
 	var order []groupKey
@@ -492,7 +495,7 @@ func (s *Site) batchQuals(msgs []any, handled []bool, resp *BatchStageResp, fail
 			fail(i, err)
 			continue
 		}
-		k := groupKey{fp: sess.fp, nf: qr.NumFrags}
+		k := groupKey{fp: sess.fp, nf: qr.NumFrags, gen: sess.gen}
 		if _, seen := groups[k]; !seen {
 			order = append(order, k)
 		}
@@ -512,11 +515,12 @@ func (s *Site) batchQuals(msgs []any, handled []bool, resp *BatchStageResp, fail
 			}
 		}
 		var key qualKey
-		var gen uint64
 		if s.cache != nil {
 			key = qualKey{fp: k.fp, numFrags: k.nf}
-			gen = s.cache.Generation()
-			if e, ok := s.cache.Get(key); ok {
+			// Pin to the group's snapshot generation, exactly like the solo
+			// path (handleQual): a hit must be consistent with the members'
+			// fragment snapshots, and a Put an edit overtook must drop.
+			if e, ok := s.cache.GetAt(key, k.gen); ok {
 				for _, mb := range ms {
 					for fid, fq := range e.qual {
 						mb.sess.qual[fid] = fq
@@ -543,11 +547,7 @@ func (s *Site) batchQuals(msgs []any, handled []bool, resp *BatchStageResp, fail
 			pr.seed(mb.sess)
 		}
 		if s.cache != nil {
-			e := &qualEntry{roots: pr.roots, qual: make(map[fragment.FragID]*parbox.FragQual, len(pr.frags))}
-			for i, fid := range pr.frags {
-				e.qual[fid] = pr.quals[i]
-			}
-			s.cache.Put(key, e, pr.compute, gen)
+			s.cache.Put(key, newQualEntry(ms[0].sess, pr), pr.compute, k.gen)
 		}
 		deliver(pr.roots, stageCompute(start, pr.compute, pr.parWall).ComputeNanos)
 	}

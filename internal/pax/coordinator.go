@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -130,6 +131,14 @@ type Engine struct {
 	failovers     atomic.Int64
 	deadSites     atomic.Int64
 	reestablished atomic.Int64
+
+	// editMu serializes ApplyEdit calls engine-wide — the version protocol
+	// (BaseVersion applies, BaseVersion+1 acks idempotently) is only sound
+	// for a serial edit history. editVersions tracks each fragment's current
+	// version as this engine has advanced it, seeded lazily from the
+	// topology's fragmentation; both are guarded by editMu.
+	editMu       sync.Mutex
+	editVersions map[fragment.FragID]uint64
 }
 
 // EngineOption configures an Engine at construction.

@@ -1,0 +1,485 @@
+package pax
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"paxq/internal/dist"
+	"paxq/internal/fragment"
+	"paxq/internal/testutil"
+	"paxq/internal/xmltree"
+)
+
+// randomFragEdit builds a valid edit for f, mirroring the restrictions
+// fragment.ApplyEdit enforces (element targets, no root/virtual/spine
+// delete or rename).
+func randomFragEdit(r *rand.Rand, f *fragment.Fragment) fragment.Edit {
+	av := f.Arena()
+	for {
+		id := xmltree.NodeID(r.Intn(f.Size()))
+		n := f.Tree.Node(id)
+		switch r.Intn(3) {
+		case 0: // insert
+			if !n.IsElement() || f.IsVirtual(n) {
+				continue
+			}
+			sub := xmltree.El("patch", xmltree.ElT("v", fmt.Sprint(r.Intn(100))))
+			if r.Intn(2) == 0 {
+				sub = xmltree.El("extra")
+			}
+			return fragment.Edit{Op: fragment.EditInsert, Node: id, Pos: r.Intn(len(n.Children) + 1), Subtree: sub}
+		case 1: // delete
+			if !n.IsElement() || n.Parent == nil || f.IsVirtual(n) || av.SpineMask.Get(int(id)) {
+				continue
+			}
+			if f.Size()-(int(av.Tree.SubtreeEnd[id])-int(id)) < 3 {
+				continue
+			}
+			return fragment.Edit{Op: fragment.EditDelete, Node: id}
+		default: // rename
+			if !n.IsElement() || n.Parent == nil || f.IsVirtual(n) || av.SpineMask.Get(int(id)) {
+				continue
+			}
+			return fragment.Edit{Op: fragment.EditRename, Node: id, Label: fmt.Sprintf("l%d", r.Intn(5))}
+		}
+	}
+}
+
+// applyBoth drives one edit through the engine, then mirrors it onto the
+// oracle fragmentation. Engine first: ApplyEdit seeds its version tracking
+// from topo.FT on a fragment's first edit, so the mirror must not get
+// ahead.
+func applyBoth(t *testing.T, eng *Engine, ft *fragment.Fragmentation, fid fragment.FragID, ed fragment.Edit) *EditResult {
+	t.Helper()
+	res, err := eng.ApplyEdit(context.Background(), fid, ed)
+	if err != nil {
+		t.Fatalf("ApplyEdit(frag %d, %v): %v", fid, ed.Op, err)
+	}
+	if _, err := ft.ApplyEdit(fid, ed); err != nil {
+		t.Fatalf("oracle mirror of edit on fragment %d: %v", fid, err)
+	}
+	ft.RecomputeOrigins()
+	if got := ft.Frags[fid].Version; got != res.NewVersion {
+		t.Fatalf("fragment %d: oracle version %d, engine reports %d", fid, got, res.NewVersion)
+	}
+	return res
+}
+
+// TestEditScheduleMatchesOracle runs a random edit schedule through a
+// cache-enabled cluster, checking after every edit that distributed
+// answers stay identical to a centralized evaluation of the edited
+// document — and that the edit and query ledgers together still equal the
+// transport's lifetime totals (cost conservation with mutations in the
+// mix).
+func TestEditScheduleMatchesOracle(t *testing.T) {
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := RoundRobin(ft, 2)
+	local, _ := BuildLocalCluster(topo, WithSiteCache(32))
+	eng := NewEngine(topo, local)
+	r := rand.New(rand.NewSource(11))
+	queries := []string{"//name", `//broker[//stock/code = "GOOG"]/name`}
+
+	var sumSent, sumRecv int64
+	var sumCompute time.Duration
+	for i := 0; i < 12; i++ {
+		fid := fragment.FragID(r.Intn(len(ft.Frags)))
+		res := applyBoth(t, eng, ft, fid, randomFragEdit(r, ft.Frags[fid]))
+		sumSent += res.BytesSent
+		sumRecv += res.BytesRecv
+		sumCompute += res.Compute
+
+		doc := ft.Reassemble()
+		for _, q := range queries {
+			qres, err := eng.Run(q, Options{Algorithm: PaX3})
+			if err != nil {
+				t.Fatalf("edit %d, %q: %v", i, q, err)
+			}
+			sumSent += qres.BytesSent
+			sumRecv += qres.BytesRecv
+			sumCompute += qres.TotalCompute
+			if got, want := origIDs(ft, qres.Answers), oracle(t, doc, q); !testutil.EqualIDs(got, want) {
+				t.Fatalf("edit %d, %q: answers %v, oracle %v", i, q, got, want)
+			}
+		}
+	}
+
+	snap := local.Metrics().Snapshot()
+	if snap.Sent != sumSent || snap.Recv != sumRecv {
+		t.Errorf("byte conservation broken with edits: transport %d/%d, ledgers %d/%d",
+			snap.Sent, snap.Recv, sumSent, sumRecv)
+	}
+	var transportCompute time.Duration
+	for _, d := range snap.Compute {
+		transportCompute += d
+	}
+	if transportCompute != sumCompute {
+		t.Errorf("compute conservation broken with edits: transport %v, ledgers %v", transportCompute, sumCompute)
+	}
+}
+
+// TestEditScopedRetentionScalar pins the delta-scoping win under the
+// scalar evaluator: an edit whose labels are disjoint from the query's
+// qualifier footprint retains the cached Stage-1 entry (remap path), the
+// next repetition hits, and answers still match the centralized oracle.
+// An overlapping edit must drop the entry instead.
+func TestEditScopedRetentionScalar(t *testing.T) {
+	eng, ft, sites := cachedCluster(t, 2, 32, 0)
+	query := `//broker[//stock/code = "GOOG"]/name` // footprint {broker?, stock, code} — no "patch"/"v"
+	if _, err := eng.Run(query, Options{Algorithm: PaX3}); err != nil {
+		t.Fatal(err)
+	}
+	before := sumCacheStats(sites)
+
+	// Label-disjoint insert: provably cannot change any qualifier bit.
+	res := applyBoth(t, eng, ft, fragment.RootFrag,
+		fragment.Edit{Op: fragment.EditInsert, Node: 0, Pos: 0, Subtree: xmltree.El("patch", xmltree.ElT("v", "7"))})
+	if res.Retained < 1 || res.Dropped != 0 || res.Patched != 0 {
+		t.Fatalf("disjoint edit: result %+v, want >=1 retained and nothing dropped/patched", res)
+	}
+	s := sumCacheStats(sites)
+	if s.ScopedRetained < 1 || s.ScopedInvalidations != 0 {
+		t.Fatalf("cache stats after disjoint edit: %+v, want scoped retention only", s)
+	}
+
+	warm, err := eng.Run(query, Options{Algorithm: PaX3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sumCacheStats(sites); got.Hits != before.Hits+int64(len(sites)) {
+		t.Errorf("warm run after disjoint edit: hits %d, want %d (retained entries must serve)",
+			got.Hits, before.Hits+int64(len(sites)))
+	}
+	if got, want := origIDs(ft, warm.Answers), oracle(t, ft.Reassemble(), query); !testutil.EqualIDs(got, want) {
+		t.Errorf("retained entry served wrong answers: %v, oracle %v", got, want)
+	}
+
+	// Overlapping insert: a "code" element lands inside the footprint.
+	res = applyBoth(t, eng, ft, fragment.RootFrag,
+		fragment.Edit{Op: fragment.EditInsert, Node: 0, Pos: 0, Subtree: xmltree.El("code")})
+	if res.Dropped < 1 || res.Retained != 0 {
+		t.Fatalf("overlapping edit: result %+v, want the entry dropped", res)
+	}
+	after, err := eng.Run(query, Options{Algorithm: PaX3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := origIDs(ft, after.Answers), oracle(t, ft.Reassemble(), query); !testutil.EqualIDs(got, want) {
+		t.Errorf("answers after drop-and-recompute: %v, oracle %v", got, want)
+	}
+}
+
+// TestEditVectorPatchRetention: under the vector evaluator every cached
+// entry retains its mask state, so even a footprint-overlapping edit is
+// repaired in place by the incremental patch — nothing is dropped, the
+// next repetition hits, and the patched entry's answers match a fresh
+// centralized evaluation (parbox's patch-equivalence, observed end to
+// end).
+func TestEditVectorPatchRetention(t *testing.T) {
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := RoundRobin(ft, 2)
+	local, sites := BuildLocalCluster(topo, WithSiteCache(32), WithSiteVectorEval(true))
+	eng := NewEngine(topo, local)
+
+	query := `//broker[//stock/code = "GOOG"]/name`
+	if _, err := eng.Run(query, Options{Algorithm: PaX3}); err != nil {
+		t.Fatal(err)
+	}
+	before := sumCacheStats(sites)
+
+	// The insert deliberately hits the qualifier footprint: a new stock
+	// with the matching code can change qualifier bits, and only the patch
+	// path may keep the entry through that.
+	res := applyBoth(t, eng, ft, fragment.RootFrag,
+		fragment.Edit{Op: fragment.EditInsert, Node: 0, Pos: 0,
+			Subtree: xmltree.El("stock", xmltree.ElT("code", "GOOG"))})
+	if res.Patched < 1 || res.Dropped != 0 {
+		t.Fatalf("vector-backed edit: result %+v, want the entry patched", res)
+	}
+	if s := sumCacheStats(sites); s.ScopedRetained < 1 {
+		t.Fatalf("cache stats after patch: %+v, want scoped retention", s)
+	}
+
+	warm, err := eng.Run(query, Options{Algorithm: PaX3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sumCacheStats(sites); got.Hits != before.Hits+int64(len(sites)) {
+		t.Errorf("warm run after patch: hits %d, want %d", got.Hits, before.Hits+int64(len(sites)))
+	}
+	if got, want := origIDs(ft, warm.Answers), oracle(t, ft.Reassemble(), query); !testutil.EqualIDs(got, want) {
+		t.Errorf("patched entry served wrong answers: %v, oracle %v", got, want)
+	}
+}
+
+// TestEditVersionProtocol exercises the site-side version switch directly:
+// apply at the base version, idempotent ack one version ahead (zero
+// counters — nothing was re-applied), conflict anywhere else.
+func TestEditVersionProtocol(t *testing.T) {
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sites := BuildLocalCluster(RoundRobin(ft, 1), WithSiteCache(8))
+	s := sites[0]
+	base := ft.Frags[fragment.RootFrag].Version
+
+	mkReq := func(label string, baseVersion uint64) *EditReq {
+		req, err := editReqOf(fragment.RootFrag,
+			fragment.Edit{Op: fragment.EditInsert, Node: 0, Pos: 0, Subtree: xmltree.El(label)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.BaseVersion = baseVersion
+		return req
+	}
+
+	req := mkReq("a", base)
+	resp, err := s.handleEdit(req)
+	if err != nil || !resp.Applied || resp.NewVersion != base+1 {
+		t.Fatalf("apply at base: resp %+v, err %v; want applied at version %d", resp, err, base+1)
+	}
+
+	// The same request again: the site is one ahead, which the protocol
+	// defines as "this very edit, response lost" — ack without re-applying.
+	resp, err = s.handleEdit(req)
+	if err != nil || resp.Applied || resp.NewVersion != base+1 {
+		t.Fatalf("replay: resp %+v, err %v; want idempotent ack at version %d", resp, err, base+1)
+	}
+	if resp.Dropped != 0 || resp.Retained != 0 || resp.Patched != 0 {
+		t.Fatalf("replay reported cache work: %+v, want zero counters", resp)
+	}
+
+	if _, err := s.handleEdit(mkReq("b", base+1)); err != nil {
+		t.Fatalf("apply at base+1: %v", err)
+	}
+
+	// The site is now at base+2; an edit issued against base matches
+	// neither the current version nor its predecessor.
+	if _, err := s.handleEdit(mkReq("c", base)); !errors.Is(err, ErrEditConflict) {
+		t.Fatalf("stale base: err %v, want ErrEditConflict", err)
+	}
+}
+
+// TestEditOneVersionAnswersAndStalePut: a session created before an edit
+// keeps answering from its fragment snapshot — byte-identical Stage-1
+// roots — and its recomputed result must NOT be re-cached (the Put was
+// evaluated against pre-edit fragments; the generation fence drops it).
+func TestEditOneVersionAnswersAndStalePut(t *testing.T) {
+	tr := testutil.PaperTree()
+	ft, err := fragment.Cut(tr, fragment.RandomCuts(tr, 3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sites := BuildLocalCluster(RoundRobin(ft, 1), WithSiteCache(8))
+	s := sites[0]
+	query := `//broker[//stock/code = "GOOG"]/name`
+	n := int32(len(ft.Frags))
+
+	resp1, err := s.handleQual(&QualStageReq{QID: 1, Query: query, NumFrags: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.Len() != 1 {
+		t.Fatalf("cold qual pass cached %d entries, want 1", s.cache.Len())
+	}
+
+	// Footprint-overlapping edit: the cached entry must drop, and the
+	// generation advances.
+	req, err := editReqOf(fragment.RootFrag,
+		fragment.Edit{Op: fragment.EditInsert, Node: 0, Pos: 0, Subtree: xmltree.El("code")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.BaseVersion = ft.Frags[fragment.RootFrag].Version
+	if _, err := s.handleEdit(req); err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.Len() != 0 {
+		t.Fatalf("overlapping edit left %d cached entries, want 0", s.cache.Len())
+	}
+
+	// The in-flight query re-asks for Stage 1 (as a replay after failover
+	// would): same session, so the pre-edit snapshot answers, and the
+	// shipped roots are byte-identical to the pre-edit response.
+	resp2, err := s.handleQual(&QualStageReq{QID: 1, Query: query, NumFrags: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp1.Roots, resp2.Roots) {
+		t.Error("pre-edit session shipped different roots after the edit — snapshot isolation broken")
+	}
+	if s.cache.Len() != 0 {
+		t.Fatalf("stale Put landed: %d cached entries, want 0", s.cache.Len())
+	}
+
+	// A fresh query caches the post-edit evaluation as usual.
+	if _, err := s.handleQual(&QualStageReq{QID: 2, Query: query, NumFrags: n}); err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.Len() != 1 {
+		t.Fatalf("post-edit qual pass cached %d entries, want 1", s.cache.Len())
+	}
+}
+
+// TestEditReplicatedConvergence drives edits into a replicated group with
+// a member down: the retry loop rides out a bounded outage, and when the
+// outage outlasts the retry budget, re-issuing the same edit converges
+// exactly (idempotent acks on the members that already applied).
+func TestEditReplicatedConvergence(t *testing.T) {
+	ed := fragment.Edit{Op: fragment.EditInsert, Node: 0, Pos: 0,
+		Subtree: xmltree.El("patch", xmltree.ElT("v", "1"))}
+	fid := fragment.RootFrag
+
+	t.Run("retries through outage", func(t *testing.T) {
+		eng, _, ft, local, sites := replicatedCluster(t, 2, 2)
+		group := eng.topo.ReplicasOf(eng.topo.SiteOf[fid])
+		if len(group) != 2 {
+			t.Fatalf("replica group %v, want 2 members", group)
+		}
+		// The replica's first call (this edit) kills it; it stays down for
+		// two more calls, then restarts (sessions wiped, fragments kept).
+		plan := dist.NewFaultPlan(dist.SiteFault{Site: group[1], Call: 1, Action: dist.FaultKill, Down: 2})
+		plan.OnRestart = func(id dist.SiteID) { siteByID(sites, id).Restart() }
+		local.FaultHook = plan.Hook
+
+		res, err := eng.ApplyEdit(context.Background(), fid, ed)
+		if err != nil {
+			t.Fatalf("edit did not survive a bounded member outage: %v", err)
+		}
+		if res.Sites != 2 || res.Retries < 1 {
+			t.Errorf("result %+v, want 2 sites and at least one retry", res)
+		}
+		if st := plan.Stats(); st.Restarts != 1 {
+			t.Errorf("fault stats %+v, want exactly one restart", st)
+		}
+		for _, m := range group {
+			if v := siteByID(sites, m).frags[fid].Version; v != res.NewVersion {
+				t.Errorf("site %d at version %d, want %d", m, v, res.NewVersion)
+			}
+		}
+		if _, err := ft.ApplyEdit(fid, ed); err != nil {
+			t.Fatal(err)
+		}
+		ft.RecomputeOrigins()
+		query := "//name"
+		qres, err := eng.Run(query, Options{Algorithm: PaX3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := origIDs(ft, qres.Answers), oracle(t, ft.Reassemble(), query); !testutil.EqualIDs(got, want) {
+			t.Errorf("post-convergence answers %v, oracle %v", got, want)
+		}
+	})
+
+	t.Run("reissue after retry budget", func(t *testing.T) {
+		saved := EditRetryPolicy
+		EditRetryPolicy = RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond, MaxBackoff: time.Millisecond}
+		defer func() { EditRetryPolicy = saved }()
+
+		eng, _, _, local, sites := replicatedCluster(t, 2, 2)
+		group := eng.topo.ReplicasOf(eng.topo.SiteOf[fid])
+		base := siteByID(sites, group[0]).frags[fid].Version
+		plan := dist.NewFaultPlan(dist.SiteFault{Site: group[1], Call: 1, Action: dist.FaultKill, Down: 2})
+		plan.OnRestart = func(id dist.SiteID) { siteByID(sites, id).Restart() }
+		local.FaultHook = plan.Hook
+
+		// First issue: the primary applies, the replica outlasts the
+		// 2-attempt budget — the edit fails WITHOUT advancing the version.
+		res, err := eng.ApplyEdit(context.Background(), fid, ed)
+		if err == nil {
+			t.Fatal("edit succeeded although the replica was down past the retry budget")
+		}
+		if res == nil || res.Retries != 1 {
+			t.Fatalf("partial result %+v, want exactly one recorded retry", res)
+		}
+
+		// Re-issuing the same edit is the documented recovery: the primary
+		// acks idempotently, the recovered replica applies.
+		res, err = eng.ApplyEdit(context.Background(), fid, ed)
+		if err != nil {
+			t.Fatalf("re-issued edit: %v", err)
+		}
+		if res.Replayed != 1 || res.NewVersion != base+1 {
+			t.Errorf("re-issue result %+v, want one idempotent ack and version %d", res, base+1)
+		}
+		for _, m := range group {
+			if v := siteByID(sites, m).frags[fid].Version; v != base+1 {
+				t.Errorf("site %d at version %d, want %d", m, v, base+1)
+			}
+		}
+	})
+}
+
+// TestConcurrentEditsAndQueries runs queries against a cluster while an
+// edit schedule mutates one fragment. Every answer set must reflect
+// exactly one fragment version (the count of //name grows by one per
+// applied insert, so a torn read would surface as an impossible count),
+// and once the schedule drains the cluster must agree with the
+// centralized oracle of the final document. Run under -race this also
+// pins the locking of the edit path against the query path.
+func TestConcurrentEditsAndQueries(t *testing.T) {
+	eng, ft, _ := cachedCluster(t, 2, 16, 0)
+	const edits = 6
+	query := "//name"
+	base := len(oracle(t, ft.Reassemble(), query))
+	mkEdit := func(i int) fragment.Edit {
+		return fragment.Edit{Op: fragment.EditInsert, Node: 0, Pos: 0,
+			Subtree: xmltree.El("zz", xmltree.ElT("name", fmt.Sprintf("n%d", i)))}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errc := make(chan error, edits)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < edits; i++ {
+			if _, err := eng.ApplyEdit(context.Background(), fragment.RootFrag, mkEdit(i)); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	for i := 0; i < 25; i++ {
+		res, err := eng.Run(query, Options{Algorithm: PaX3})
+		if err != nil {
+			t.Fatalf("query %d during edit schedule: %v", i, err)
+		}
+		if n := len(res.Answers); n < base || n > base+edits {
+			t.Fatalf("query %d: %d answers — outside every version's count [%d, %d]", i, n, base, base+edits)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("concurrent edit failed: %v", err)
+	}
+
+	for i := 0; i < edits; i++ {
+		if _, err := ft.ApplyEdit(fragment.RootFrag, mkEdit(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ft.RecomputeOrigins()
+	res, err := eng.Run(query, Options{Algorithm: PaX3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := origIDs(ft, res.Answers), oracle(t, ft.Reassemble(), query); !testutil.EqualIDs(got, want) {
+		t.Errorf("final answers %v, oracle %v", got, want)
+	}
+}

@@ -23,6 +23,14 @@ var ErrOverloaded = errors.New("pax: engine overloaded")
 // exists to keep serving deployments away from this limit.
 var ErrSessionLimit = errors.New("pax: site session limit reached")
 
+// ErrEditConflict is returned by a Site's edit handler when the hosted
+// fragment's version matches neither the edit's base version nor its
+// successor (the idempotent-retry case): the replica has diverged from the
+// engine's serialized edit history. Retrying cannot help — the condition is
+// a deployment bug (an out-of-band mutation or a mixed-history restore),
+// not a transient fault.
+var ErrEditConflict = errors.New("pax: edit version conflict")
+
 // Session-loss message fragments. Site errors cross the TCP transport as
 // respEnvelope strings, so after one hop the coordinator cannot classify
 // them with errors.Is — the stable message text below is part of the

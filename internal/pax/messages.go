@@ -5,6 +5,7 @@
 package pax
 
 import (
+	"fmt"
 	"time"
 
 	"paxq/internal/dist"
@@ -191,6 +192,40 @@ type BatchStageResp struct {
 	SubComputeNanos []int64
 }
 
+// EditReq asks a site to apply one fragment edit (insert/delete/rename a
+// subtree; see fragment.Edit) to its hosted copy of Frag. BaseVersion is
+// the fragment version the edit was issued against: a site at BaseVersion
+// applies and moves to BaseVersion+1, a site already at BaseVersion+1
+// reports success without re-applying (the idempotent-retry case — the
+// engine serializes edits, so version BaseVersion+1 can only be this very
+// edit), and any other version is a conflict error. Subtree travels in
+// WireNode form for inserts (HasSubtree marks presence); edit subtrees
+// never contain virtual nodes.
+type EditReq struct {
+	Frag        fragment.FragID
+	BaseVersion uint64
+	Op          uint8 // fragment.EditOp
+	Node        xmltree.NodeID
+	Pos         int32
+	Label       string
+	HasSubtree  bool
+	Subtree     WireNode
+}
+
+// EditResp reports an applied (or idempotently replayed) edit: the
+// fragment's new version and what the delta-scoped cache invalidation did
+// to the site's memoized Stage-1 entries — dropped, retained by the
+// label-disjointness remap, or repaired by patching a retained vector
+// state. A replayed edit reports zero counters.
+type EditResp struct {
+	StageCompute
+	NewVersion uint64
+	Applied    bool
+	Dropped    int64
+	Retained   int64
+	Patched    int64
+}
+
 // FetchReq asks a site to ship its fragments wholesale (NaiveCentralized).
 type FetchReq struct{}
 
@@ -229,6 +264,56 @@ func init() {
 	dist.Register(&FetchResp{})
 	dist.Register(&BatchStageReq{})
 	dist.Register(&BatchStageResp{})
+	dist.Register(&EditReq{})
+	dist.Register(&EditResp{})
+}
+
+// subtreeToWire converts a plain (fragment-free) subtree to wire form —
+// the EditReq payload. Edit subtrees carry no virtual nodes by
+// construction.
+func subtreeToWire(n *xmltree.Node) WireNode {
+	w := WireNode{Kind: uint8(n.Kind), Label: n.Label, Data: n.Data}
+	for _, c := range n.Children {
+		w.Children = append(w.Children, subtreeToWire(c))
+	}
+	return w
+}
+
+// wireToSubtree rebuilds an edit subtree from wire form. Virtual nodes are
+// rejected: an edit cannot introduce fragmentation structure, and
+// fragment.ApplyEdit's own '#'-label check would only catch the label,
+// not the flag.
+func wireToSubtree(w *WireNode) (*xmltree.Node, error) {
+	if w.Virtual {
+		return nil, fmt.Errorf("pax: edit subtree contains a virtual node")
+	}
+	n := &xmltree.Node{Kind: xmltree.NodeKind(w.Kind), Label: w.Label, Data: w.Data, ID: xmltree.NoID}
+	for i := range w.Children {
+		c, err := wireToSubtree(&w.Children[i])
+		if err != nil {
+			return nil, err
+		}
+		n.Append(c)
+	}
+	return n, nil
+}
+
+// toEdit converts the request's wire payload to a fragment.Edit.
+func (m *EditReq) toEdit() (fragment.Edit, error) {
+	e := fragment.Edit{
+		Op:    fragment.EditOp(m.Op),
+		Node:  m.Node,
+		Pos:   int(m.Pos),
+		Label: m.Label,
+	}
+	if m.HasSubtree {
+		sub, err := wireToSubtree(&m.Subtree)
+		if err != nil {
+			return fragment.Edit{}, err
+		}
+		e.Subtree = sub
+	}
+	return e, nil
 }
 
 // toWireNode converts a fragment subtree to wire form.

@@ -66,6 +66,22 @@ type session struct {
 	// cache key component, carried from the compile cache.
 	fp string
 	vs parbox.VarScheme
+	// frags snapshots the site's fragment versions at session creation, and
+	// fragIDs their IDs ascending. Every stage of the query evaluates this
+	// snapshot, so a fragment edit landing between stages can never mix
+	// versions within one query's answer — the site swaps its live map, the
+	// session keeps reading the copy-on-write fragments it started with.
+	// Immutable after creation.
+	frags   map[fragment.FragID]*fragment.Fragment
+	fragIDs []fragment.FragID
+	// gen is the Stage-1 cache generation observed at the same instant the
+	// snapshot was taken (both under Site.mu, which every edit holds while
+	// it swaps a fragment and advances the generation). Cache reads and
+	// writes for this session pin to it: GetAt(gen) can only hit while no
+	// edit has landed since the snapshot, so a hit is always consistent
+	// with sess.frags, and Put(gen) silently drops results that an edit
+	// overtook. Zero when caching is disabled (never consulted then).
+	gen uint64
 	// workers is the session's private worker pool: fragment evaluation
 	// within this query's stage requests is bounded by its capacity. Each
 	// session owns its pool so one query's fragment fan-out cannot starve
@@ -182,8 +198,14 @@ func (s *Site) ID() dist.SiteID { return s.id }
 
 // FragIDs returns the IDs of the hosted fragments, ascending.
 func (s *Site) FragIDs() []fragment.FragID {
-	out := make([]fragment.FragID, 0, len(s.frags))
-	for id := range s.frags {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedFragIDs(s.frags)
+}
+
+func sortedFragIDs(frags map[fragment.FragID]*fragment.Fragment) []fragment.FragID {
+	out := make([]fragment.FragID, 0, len(frags))
+	for id := range frags {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -218,6 +240,8 @@ func (s *Site) handle(req any) (any, error) {
 		return s.handleFetch()
 	case *BatchStageReq:
 		return s.handleBatch(r)
+	case *EditReq:
+		return s.handleEdit(r)
 	}
 	return nil, fmt.Errorf("pax: site %d: unknown request type %T", s.id, req)
 }
@@ -253,10 +277,25 @@ func (s *Site) getSession(qid QueryID, query string, numFrags int32) (*session, 
 	if err != nil {
 		return nil, fmt.Errorf("pax: site %d: %w", s.id, err)
 	}
+	// Snapshot the fragment versions and the cache generation atomically
+	// (both under s.mu, the lock every edit holds while it swaps a fragment
+	// and invalidates): the query evaluates exactly this fragment state in
+	// every stage, whatever edits land meanwhile.
+	frags := make(map[fragment.FragID]*fragment.Fragment, len(s.frags))
+	for id, f := range s.frags {
+		frags[id] = f
+	}
+	var gen uint64
+	if s.cache != nil {
+		gen = s.cache.Generation()
+	}
 	sess := &session{
 		c:        cq.c,
 		fp:       cq.fp,
 		vs:       parbox.NewVarScheme(cq.c, int(numFrags)),
+		frags:    frags,
+		fragIDs:  sortedFragIDs(frags),
+		gen:      gen,
 		workers:  make(chan struct{}, s.par),
 		lastUsed: now,
 		qual:     make(map[fragment.FragID]*parbox.FragQual),
@@ -358,6 +397,11 @@ type qualPassResult struct {
 	frags   []fragment.FragID
 	roots   []WireRootVecs
 	quals   []*parbox.FragQual // frags order
+	// states holds the evaluator's retained per-fragment state in frags
+	// order — the vector evaluator's mask state, nil under the scalar
+	// evaluator. Cached alongside the entry so the delta-scoped
+	// invalidation can Patch instead of drop.
+	states  []*parbox.VectorState
 	compute time.Duration
 	parWall time.Duration
 }
@@ -372,43 +416,52 @@ func (p *qualPassResult) work() int64 {
 	return w
 }
 
-// qualPass runs the Stage-1 qualifier sweep over every hosted fragment,
-// fragments in parallel. On error the cost fields of the partial result
-// are still valid — the fragments already evaluated did their work.
+// shipRootVecs renders one fragment's Stage-1 result in wire form. One
+// simplifier across the fragment's root vectors: QV and QDV entries share
+// sub-structure heavily, so interning across the pair shrinks the shipped
+// bytes the most. Both the fresh sweep and the patched-entry rebuild go
+// through here, so a patched cache entry ships bytes identical to a fresh
+// evaluation.
+func (s *Site) shipRootVecs(fid fragment.FragID, f *fragment.Fragment, fq *parbox.FragQual) WireRootVecs {
+	sim := s.shipSimplifier()
+	rv := WireRootVecs{
+		Frag: fid,
+		QV:   shipVec(sim, fq.Root.QV),
+		QDV:  shipVec(sim, fq.Root.QDV),
+	}
+	// The root fragment also reports its root node's selection-entry
+	// qualifier values, enabling the one-visit ParBoX protocol for
+	// Boolean queries.
+	if fid == fragment.RootFrag && fq.SelQual != nil {
+		sq := fq.SelQual[f.Tree.Root.ID]
+		enc := make(WireVec, len(sq))
+		for i, fm := range sq {
+			if fm == nil {
+				fm = boolexpr.True()
+			}
+			enc[i] = shipOne(sim, fm)
+		}
+		rv.RootSelQual = enc
+	}
+	return rv
+}
+
+// qualPass runs the Stage-1 qualifier sweep over every fragment of the
+// session's snapshot, fragments in parallel. On error the cost fields of
+// the partial result are still valid — the fragments already evaluated did
+// their work.
 func (s *Site) qualPass(sess *session) (*qualPassResult, error) {
 	s.qualPasses.Add(1)
 	type qualOut struct {
 		rv WireRootVecs
 		fq *parbox.FragQual
+		st *parbox.VectorState
 	}
-	frags := s.FragIDs()
+	frags := sess.fragIDs
 	outs, compute, parWall, err := evalFrags(sess, frags, func(fid fragment.FragID) (qualOut, error) {
-		f := s.frags[fid]
-		fq := s.eval.EvalQual(f, sess.c, sess.vs)
-		// One simplifier across the fragment's root vectors: QV and QDV
-		// entries share sub-structure heavily, so interning across the
-		// pair shrinks the shipped bytes the most.
-		sim := s.shipSimplifier()
-		rv := WireRootVecs{
-			Frag: fid,
-			QV:   shipVec(sim, fq.Root.QV),
-			QDV:  shipVec(sim, fq.Root.QDV),
-		}
-		// The root fragment also reports its root node's selection-entry
-		// qualifier values, enabling the one-visit ParBoX protocol for
-		// Boolean queries.
-		if fid == fragment.RootFrag && fq.SelQual != nil {
-			sq := fq.SelQual[f.Tree.Root.ID]
-			enc := make(WireVec, len(sq))
-			for i, fm := range sq {
-				if fm == nil {
-					fm = boolexpr.True()
-				}
-				enc[i] = shipOne(sim, fm)
-			}
-			rv.RootSelQual = enc
-		}
-		return qualOut{rv: rv, fq: fq}, nil
+		f := sess.frags[fid]
+		fq, st := s.eval.EvalQualKeep(f, sess.c, sess.vs)
+		return qualOut{rv: s.shipRootVecs(fid, f, fq), fq: fq, st: st}, nil
 	})
 	res := &qualPassResult{frags: frags, compute: compute, parWall: parWall}
 	if err != nil {
@@ -417,6 +470,7 @@ func (s *Site) qualPass(sess *session) (*qualPassResult, error) {
 	for i := range frags {
 		res.roots = append(res.roots, outs[i].rv)
 		res.quals = append(res.quals, outs[i].fq)
+		res.states = append(res.states, outs[i].st)
 	}
 	return res, nil
 }
@@ -438,15 +492,14 @@ func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
 		return nil, err
 	}
 	var key qualKey
-	var gen uint64
 	if s.cache != nil {
 		key = qualKey{fp: sess.fp, numFrags: req.NumFrags}
-		// Snapshot the generation before any fragment is read: if a
-		// BumpGeneration lands during the evaluation below, the results
-		// were (partly) derived from pre-bump fragment contents and the
-		// Put must be dropped, not resurrected into the new generation.
-		gen = s.cache.Generation()
-		if e, ok := s.cache.Get(key); ok {
+		// Cache reads and writes pin to the generation the session's
+		// fragment snapshot was taken under: GetAt refuses entries unless
+		// the generation is still current (so a hit is always consistent
+		// with sess.frags), and a Put whose evaluation an edit overtook is
+		// silently dropped instead of resurrecting pre-edit state.
+		if e, ok := s.cache.GetAt(key, sess.gen); ok {
 			// Replay the memoized pass: the shipped roots are byte-identical
 			// to a fresh evaluation (deterministic simplification), and the
 			// cached per-fragment qualifier state seeds this session for the
@@ -470,13 +523,9 @@ func (s *Site) handleQual(req *QualStageReq) (*QualStageResp, error) {
 	pr.seed(sess)
 	resp := &QualStageResp{Roots: pr.roots}
 	if s.cache != nil {
-		e := &qualEntry{roots: pr.roots, qual: make(map[fragment.FragID]*parbox.FragQual, len(pr.frags))}
-		for i, fid := range pr.frags {
-			e.qual[fid] = pr.quals[i]
-		}
 		// The entry's cost is the fragment-evaluation time this miss paid —
 		// what every future hit avoids.
-		s.cache.Put(key, e, pr.compute, gen)
+		s.cache.Put(key, newQualEntry(sess, pr), pr.compute, sess.gen)
 	}
 	resp.StageCompute = stageCompute(start, pr.compute, pr.parWall)
 	return resp, nil
@@ -538,7 +587,7 @@ func (s *Site) handleSel(req *SelStageReq) (*SelStageResp, error) {
 		return nil, err
 	}
 	outs, compute, parWall, err := evalFrags(sess, req.Frags, func(fid fragment.FragID) (*selOutcome, error) {
-		f, ok := s.frags[fid]
+		f, ok := sess.frags[fid]
 		if !ok {
 			return nil, fmt.Errorf("pax: site %d does not host fragment %d", s.id, fid)
 		}
@@ -594,7 +643,7 @@ func (s *Site) handleCombined(req *CombinedStageReq) (*CombinedStageResp, error)
 	}
 	sess.shipXML = req.ShipXML
 	outs, compute, parWall, err := evalFrags(sess, req.Frags, func(fid fragment.FragID) (*combinedOutcome, error) {
-		f, ok := s.frags[fid]
+		f, ok := sess.frags[fid]
 		if !ok {
 			return nil, fmt.Errorf("pax: site %d does not host fragment %d", s.id, fid)
 		}
@@ -653,7 +702,7 @@ func (s *Site) handleCollect(req *AnsStageReq) (*AnsStageResp, error) {
 	}
 	resp := &AnsStageResp{}
 	for _, in := range req.Inits {
-		f, ok := s.frags[in.Frag]
+		f, ok := sess.frags[in.Frag]
 		if !ok {
 			return nil, fmt.Errorf("pax: site %d does not host fragment %d", s.id, in.Frag)
 		}
@@ -694,12 +743,87 @@ func (s *Site) Restart() {
 	s.compiled = newLRU[string, compiledQuery](defaultSiteCompileCache)
 }
 
-// handleFetch ships entire fragments (NaiveCentralized).
+// handleFetch ships entire fragments (NaiveCentralized). The fragment set
+// is snapshotted under the lock, so a concurrent edit yields either the
+// pre- or the post-edit version of every fragment — never a torn read.
 func (s *Site) handleFetch() (*FetchResp, error) {
+	s.mu.Lock()
+	frags := make(map[fragment.FragID]*fragment.Fragment, len(s.frags))
+	for id, f := range s.frags {
+		frags[id] = f
+	}
+	s.mu.Unlock()
 	resp := &FetchResp{}
-	for _, fid := range s.FragIDs() {
-		f := s.frags[fid]
+	for _, fid := range sortedFragIDs(frags) {
+		f := frags[fid]
 		resp.Frags = append(resp.Frags, WireFragment{ID: fid, Root: toWireNode(f, f.Tree.Root)})
 	}
+	return resp, nil
+}
+
+// handleEdit applies one fragment edit to the site's hosted copy. The whole
+// operation — version check, copy-on-write apply, fragment swap, cache
+// invalidation — runs under s.mu, the same lock session creation snapshots
+// fragments and the cache generation under, so a query session observes
+// either the pre-edit world (fragments AND cache generation) or the
+// post-edit one, atomically. In-flight sessions keep evaluating their
+// snapshot's copy-on-write fragments untouched.
+//
+// Version semantics (see EditReq): a fragment at BaseVersion applies; one
+// already at BaseVersion+1 reports success without re-applying — the
+// idempotent-retry case, safe because the engine serializes edits, so the
+// only edit that can have moved the fragment to BaseVersion+1 is this very
+// one, delivered by an earlier attempt whose response was lost; any other
+// version is a conflict.
+func (s *Site) handleEdit(req *EditReq) (*EditResp, error) {
+	start := time.Now()
+	e, err := req.toEdit()
+	if err != nil {
+		return nil, fmt.Errorf("pax: site %d: %w", s.id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frags[req.Frag]
+	if !ok {
+		return nil, fmt.Errorf("pax: site %d does not host fragment %d", s.id, req.Frag)
+	}
+	resp := &EditResp{}
+	switch f.Version {
+	case req.BaseVersion:
+		// Fall through and apply.
+	case req.BaseVersion + 1:
+		resp.NewVersion = f.Version
+		resp.StageCompute = stageCompute(start, 0, 0)
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("pax: site %d: fragment %d is at version %d, edit issued against base %d: %w",
+			s.id, req.Frag, f.Version, req.BaseVersion, ErrEditConflict)
+	}
+	nf, delta, err := f.ApplyEdit(e)
+	if err != nil {
+		return nil, fmt.Errorf("pax: site %d: %w", s.id, err)
+	}
+	s.frags[req.Frag] = nf
+	if s.cache != nil {
+		// Delta-scoped invalidation: offer every cached Stage-1 entry the
+		// chance to survive the edit (see retainEntry). The generation
+		// advances regardless, so Puts computed against the pre-edit
+		// fragments can never land afterwards.
+		s.cache.Invalidate(func(_ qualKey, old *qualEntry) (*qualEntry, bool) {
+			ne, kind := s.retainEntry(old, req.Frag, nf, delta)
+			switch kind {
+			case retainPatched:
+				resp.Patched++
+			case retainRemapped:
+				resp.Retained++
+			default:
+				resp.Dropped++
+			}
+			return ne, ne != nil
+		})
+	}
+	resp.NewVersion = nf.Version
+	resp.Applied = true
+	resp.StageCompute = stageCompute(start, 0, 0)
 	return resp, nil
 }

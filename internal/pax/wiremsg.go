@@ -32,6 +32,8 @@ const (
 	tagFetchResp
 	tagBatchStageReq
 	tagBatchStageResp
+	tagEditReq
+	tagEditResp
 )
 
 func init() {
@@ -47,6 +49,8 @@ func init() {
 	dist.RegisterBinary(func() dist.BinaryMessage { return new(FetchResp) })
 	dist.RegisterBinary(func() dist.BinaryMessage { return new(BatchStageReq) })
 	dist.RegisterBinary(func() dist.BinaryMessage { return new(BatchStageResp) })
+	dist.RegisterBinary(func() dist.BinaryMessage { return new(EditReq) })
+	dist.RegisterBinary(func() dist.BinaryMessage { return new(EditResp) })
 }
 
 // newStageMessage constructs the empty message for an inner batch tag. Batch
@@ -777,5 +781,74 @@ func (m *BatchStageResp) DecodeBinary(p []byte) error {
 			m.SubComputeNanos[i] = r.fixed64()
 		}
 	}
+	return r.done()
+}
+
+// WireTag implements dist.BinaryMessage.
+func (m *EditReq) WireTag() dist.MsgTag { return tagEditReq }
+
+// AppendBinary implements dist.BinaryMessage. Edit messages never ride in
+// batch envelopes (Engine.ApplyEdit issues them directly, serialized), so
+// newStageMessage deliberately excludes their tags, like the batch tags
+// themselves.
+func (m *EditReq) AppendBinary(dst []byte) ([]byte, error) {
+	dst = appendFragID(dst, m.Frag)
+	dst = wirefmt.AppendUvarint(dst, m.BaseVersion)
+	dst = append(dst, m.Op)
+	dst = wirefmt.AppendUvarint(dst, uint64(uint32(m.Node)))
+	dst = wirefmt.AppendUvarint(dst, uint64(uint32(m.Pos)))
+	dst = wirefmt.AppendString(dst, m.Label)
+	dst = wirefmt.AppendBool(dst, m.HasSubtree)
+	if m.HasSubtree {
+		return appendWireNode(dst, &m.Subtree, 0)
+	}
+	return dst, nil
+}
+
+// DecodeBinary implements dist.BinaryMessage.
+func (m *EditReq) DecodeBinary(p []byte) error {
+	r := reader{p: p}
+	m.Frag = r.fragID()
+	m.BaseVersion = r.uvarint()
+	if r.err == nil {
+		if len(r.p) == 0 {
+			r.fail(fmt.Errorf("%w: missing edit op", wirefmt.ErrTruncated))
+		} else {
+			m.Op = r.p[0]
+			r.p = r.p[1:]
+		}
+	}
+	m.Node = xmltree.NodeID(r.int32())
+	m.Pos = r.int32()
+	m.Label = r.str()
+	m.HasSubtree = r.bool()
+	if m.HasSubtree {
+		r.wireNode(&m.Subtree, 0)
+	}
+	return r.done()
+}
+
+// WireTag implements dist.BinaryMessage.
+func (m *EditResp) WireTag() dist.MsgTag { return tagEditResp }
+
+// AppendBinary implements dist.BinaryMessage.
+func (m *EditResp) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirefmt.AppendUvarint(dst, uint64(m.ComputeNanos))
+	dst = wirefmt.AppendUvarint(dst, m.NewVersion)
+	dst = wirefmt.AppendBool(dst, m.Applied)
+	dst = wirefmt.AppendUvarint(dst, uint64(m.Dropped))
+	dst = wirefmt.AppendUvarint(dst, uint64(m.Retained))
+	return wirefmt.AppendUvarint(dst, uint64(m.Patched)), nil
+}
+
+// DecodeBinary implements dist.BinaryMessage.
+func (m *EditResp) DecodeBinary(p []byte) error {
+	r := reader{p: p}
+	m.ComputeNanos = r.int64()
+	m.NewVersion = r.uvarint()
+	m.Applied = r.bool()
+	m.Dropped = r.int64()
+	m.Retained = r.int64()
+	m.Patched = r.int64()
 	return r.done()
 }

@@ -93,6 +93,17 @@ func messageCorpus(seed int64) []any {
 				{Kind: 1, Virtual: true, Frag: 2, Data: "v"},
 			}},
 		}}},
+		&EditReq{
+			Frag: 2, BaseVersion: 7, Op: 1, Node: 14, Pos: 1, Label: "",
+			HasSubtree: true,
+			Subtree: WireNode{Kind: 1, Label: "person", Children: []WireNode{
+				{Kind: 1, Label: "name", Children: []WireNode{{Kind: 3, Data: "Ada"}}},
+				{Kind: 2, Label: "id", Data: "7"},
+			}},
+		},
+		&EditReq{Frag: 0, BaseVersion: 1, Op: 3, Node: 5, Label: "renamed"},
+		&EditResp{StageCompute: StageCompute{ComputeNanos: 12345}, NewVersion: 8, Applied: true, Dropped: 2, Retained: 3, Patched: 1},
+		&EditResp{NewVersion: 9},
 	}
 }
 

@@ -72,6 +72,14 @@ type Stats struct {
 	Expirations int64
 	// Invalidations counts entries dropped by BumpGeneration.
 	Invalidations int64
+	// ScopedInvalidations counts entries dropped by Invalidate because the
+	// caller's predicate rejected them (the edit could have changed them).
+	ScopedInvalidations int64
+	// ScopedRetained counts entries that survived an Invalidate call — cached
+	// Stage-1 state an edit provably could not have changed (possibly after an
+	// in-place rewrite). The delta-scoped invalidation win is exactly this
+	// counter staying above zero across an edit-heavy workload.
+	ScopedRetained int64
 	// SavedCompute sums the self-reported computation time of every hit's
 	// entry — the site work the cache avoided. Reported separately from
 	// any per-query ledger so cost-conservation checks still hold.
@@ -90,6 +98,8 @@ func (s *Stats) Merge(other Stats) {
 	s.Evictions += other.Evictions
 	s.Expirations += other.Expirations
 	s.Invalidations += other.Invalidations
+	s.ScopedInvalidations += other.ScopedInvalidations
+	s.ScopedRetained += other.ScopedRetained
 	s.SavedCompute += other.SavedCompute
 	s.Entries += other.Entries
 	if other.Generation > s.Generation {
@@ -168,6 +178,40 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	return e.val, true
 }
 
+// GetAt is Get restricted to a generation: it hits only while the cache's
+// current generation still equals gen, checked under the same lock as the
+// lookup so no BumpGeneration or Invalidate can slip between the check and
+// the read. Callers that snapshot fragment state together with the
+// generation (a query session pinned to one fragment version) use this to
+// guarantee a hit was derived from exactly the snapshot they hold —
+// entries always live in the cache's current generation, so equality is
+// the whole test. A generation mismatch is reported as a miss.
+func (c *Cache[K, V]) GetAt(key K, gen uint64) (V, bool) {
+	var zero V
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.stats.Generation {
+		c.stats.Misses++
+		return zero, false
+	}
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return zero, false
+	}
+	e := el.Value.(*entry[K, V])
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(el)
+		c.stats.Expirations++
+		c.stats.Misses++
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	c.stats.Hits++
+	c.stats.SavedCompute += e.cost
+	return e.val, true
+}
+
 // Put inserts or refreshes the value for key, recording the computation
 // time the evaluation that produced it reported (credited to
 // Stats.SavedCompute on each future hit). Beyond capacity, the least
@@ -213,6 +257,37 @@ func (c *Cache[K, V]) BumpGeneration() {
 	c.stats.Invalidations += int64(c.order.Len())
 	clear(c.entries)
 	c.order.Init()
+}
+
+// Invalidate advances the fragment generation like BumpGeneration, but
+// instead of flushing everything it offers each live entry to keep: entries
+// for which keep returns (v, true) are rewritten to v and carried into the
+// new generation (counted in Stats.ScopedRetained); the rest are dropped
+// (counted in Stats.ScopedInvalidations). This is the delta-scoped hook an
+// update-aware site calls after a fragment edit — keep decides, per cached
+// query, whether the edit could have touched the entry, and may remap the
+// value's node IDs for the edit's renumbering before retaining it.
+//
+// The generation ALWAYS advances, even when every entry is retained: any
+// Put still in flight was computed against the pre-edit fragment and must
+// drop, exactly as after BumpGeneration. keep runs under the cache lock and
+// must not call back into the cache.
+func (c *Cache[K, V]) Invalidate(keep func(K, V) (V, bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Generation++
+	var el, next *list.Element
+	for el = c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*entry[K, V])
+		if v, ok := keep(e.key, e.val); ok {
+			e.val = v
+			c.stats.ScopedRetained++
+			continue
+		}
+		c.removeLocked(el)
+		c.stats.ScopedInvalidations++
+	}
 }
 
 // Generation returns the current fragment generation.

@@ -193,3 +193,84 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("cache grew past capacity: %d entries", s.Entries)
 	}
 }
+
+func TestInvalidateScoped(t *testing.T) {
+	c := New[string, int](8, 0)
+	c.Put("keep", 1, 10, 0)
+	c.Put("rewrite", 2, 20, 0)
+	c.Put("drop", 3, 30, 0)
+	c.Invalidate(func(k string, v int) (int, bool) {
+		switch k {
+		case "keep":
+			return v, true
+		case "rewrite":
+			return v + 100, true
+		}
+		return 0, false
+	})
+	if g := c.Generation(); g != 1 {
+		t.Fatalf("generation = %d, want 1", g)
+	}
+	if _, ok := c.Get("drop"); ok {
+		t.Fatal("rejected entry survived Invalidate")
+	}
+	if v, ok := c.Get("keep"); !ok || v != 1 {
+		t.Fatalf("Get(keep) = %d, %v; want 1, true", v, ok)
+	}
+	if v, ok := c.Get("rewrite"); !ok || v != 102 {
+		t.Fatalf("Get(rewrite) = %d, %v; want 102, true", v, ok)
+	}
+	s := c.Stats()
+	if s.ScopedRetained != 2 || s.ScopedInvalidations != 1 {
+		t.Fatalf("stats = %+v; want 2 retained, 1 scoped invalidation", s)
+	}
+	if s.Invalidations != 0 {
+		t.Fatalf("Invalidate must not count into Invalidations, got %d", s.Invalidations)
+	}
+}
+
+func TestInvalidateDropsInflightPut(t *testing.T) {
+	c := New[string, int](8, 0)
+	gen := c.Generation()
+	// An edit lands while a value is being computed; even a keep-everything
+	// Invalidate must reject the stale Put.
+	c.Invalidate(func(string, int) (int, bool) { return 0, true })
+	c.Put("late", 9, 10, gen)
+	if _, ok := c.Get("late"); ok {
+		t.Fatal("stale Put survived a scoped invalidation")
+	}
+	c.Put("fresh", 7, 10, c.Generation())
+	if _, ok := c.Get("fresh"); !ok {
+		t.Fatal("current-generation Put rejected")
+	}
+}
+
+func TestStatsMergeScoped(t *testing.T) {
+	a := Stats{ScopedInvalidations: 2, ScopedRetained: 5}
+	a.Merge(Stats{ScopedInvalidations: 1, ScopedRetained: 3})
+	if a.ScopedInvalidations != 3 || a.ScopedRetained != 8 {
+		t.Fatalf("merged = %+v", a)
+	}
+}
+
+func TestGetAtGenerationPinned(t *testing.T) {
+	c := New[string, int](4, 0)
+	gen := c.Generation()
+	c.Put("k", 1, time.Millisecond, gen)
+	if v, ok := c.GetAt("k", gen); !ok || v != 1 {
+		t.Fatalf("GetAt at matching generation: got %v %v", v, ok)
+	}
+	// Advance the generation retaining the entry: a reader pinned to the
+	// old generation must now miss even though the key is live.
+	c.Invalidate(func(string, int) (int, bool) { return 2, true })
+	if _, ok := c.GetAt("k", gen); ok {
+		t.Fatal("GetAt hit across a generation advance")
+	}
+	if v, ok := c.GetAt("k", c.Generation()); !ok || v != 2 {
+		t.Fatalf("GetAt at the new generation: got %v %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}

@@ -522,9 +522,18 @@ type SiteCacheStats struct {
 	Evictions     int64
 	Expirations   int64
 	Invalidations int64
-	SavedCompute  time.Duration
-	Entries       int
-	Generation    uint64
+	// ScopedInvalidations and ScopedRetained split the fates of entries
+	// offered to delta-scoped invalidation after a fragment edit
+	// (Cluster.ApplyEdit): dropped because the edit's label footprint or
+	// subtree interval could affect them, versus carried into the new
+	// fragment version (remapped, or incrementally patched under the
+	// vector Stage-1 evaluator). A retained entry is a Stage-1 sweep the
+	// next query on that fragment does not pay for.
+	ScopedInvalidations int64
+	ScopedRetained      int64
+	SavedCompute        time.Duration
+	Entries             int
+	Generation          uint64
 }
 
 // FailoverStats are the coordinator's lifetime failover counters (all zero
@@ -576,14 +585,16 @@ func (c *Cluster) TransportStats() TransportStats {
 		agg.Merge(s.CacheStats())
 	}
 	out.SiteCache = SiteCacheStats{
-		Hits:          agg.Hits,
-		Misses:        agg.Misses,
-		Evictions:     agg.Evictions,
-		Expirations:   agg.Expirations,
-		Invalidations: agg.Invalidations,
-		SavedCompute:  agg.SavedCompute,
-		Entries:       agg.Entries,
-		Generation:    agg.Generation,
+		Hits:                agg.Hits,
+		Misses:              agg.Misses,
+		Evictions:           agg.Evictions,
+		Expirations:         agg.Expirations,
+		Invalidations:       agg.Invalidations,
+		ScopedInvalidations: agg.ScopedInvalidations,
+		ScopedRetained:      agg.ScopedRetained,
+		SavedCompute:        agg.SavedCompute,
+		Entries:             agg.Entries,
+		Generation:          agg.Generation,
 	}
 	fs := c.engine.FailoverStats()
 	out.Failover = FailoverStats{
@@ -667,6 +678,149 @@ func (c *Cluster) BumpSiteCacheGeneration() {
 	for _, s := range c.sites {
 		s.BumpCacheGeneration()
 	}
+}
+
+// EditOp selects the kind of fragment edit Cluster.ApplyEdit performs.
+type EditOp int
+
+// Fragment edit operations.
+const (
+	// EditInsert attaches the subtree parsed from Edit.SubtreeXML as child
+	// number Edit.Pos of element Edit.Node.
+	EditInsert EditOp = iota
+	// EditDelete removes the subtree rooted at Edit.Node.
+	EditDelete
+	// EditRename relabels element Edit.Node to Edit.Label.
+	EditRename
+)
+
+// Edit describes one mutation of a fragment's subtree, addressed by the
+// fragment-local node IDs that Answer.Node and Answer.Fragment report.
+// The fragmentation skeleton is fixed: fragment roots and the virtual
+// cut points connecting fragments can be neither deleted nor renamed,
+// and inserted subtrees must be element-rooted. Invalid edits fail
+// without changing anything.
+type Edit struct {
+	// Fragment is the fragment to edit, 0..Cluster.Fragments()-1.
+	Fragment int
+	// Op is the operation to perform.
+	Op EditOp
+	// Node is the fragment-local target: the delete/rename subject, or
+	// the insert parent.
+	Node int
+	// Pos is the insert slot among Node's children (text children
+	// counted), 0..len(children); ignored for delete and rename.
+	Pos int
+	// Label is the rename's new label; ignored otherwise.
+	Label string
+	// SubtreeXML is the insert's payload, a single-rooted XML snippet
+	// such as "<broker><name>Ada</name></broker>"; ignored otherwise.
+	SubtreeXML string
+}
+
+// toFragment renders the public edit as the internal one, parsing the
+// insert payload.
+func (e Edit) toFragment() (fragment.Edit, error) {
+	ed := fragment.Edit{Node: xmltree.NodeID(e.Node), Pos: e.Pos, Label: e.Label}
+	switch e.Op {
+	case EditInsert:
+		ed.Op = fragment.EditInsert
+		t, err := xmltree.ParseString(e.SubtreeXML)
+		if err != nil {
+			return ed, fmt.Errorf("paxq: edit subtree: %w", err)
+		}
+		ed.Subtree = t.Root
+	case EditDelete:
+		ed.Op = fragment.EditDelete
+	case EditRename:
+		ed.Op = fragment.EditRename
+	default:
+		return ed, fmt.Errorf("paxq: unknown edit op %d", int(e.Op))
+	}
+	return ed, nil
+}
+
+// EditResult reports one applied edit: where the fragment's version moved,
+// what the sites' delta-scoped cache invalidation did with the entries it
+// held, and the edit's own transport ledger. Like a query's Stats, the
+// ledger is private to this edit; summed with every query's Stats it
+// accounts for the transport's lifetime totals exactly.
+type EditResult struct {
+	// Fragment echoes the edited fragment; NewVersion is its version on
+	// every replica after the edit.
+	Fragment   int
+	NewVersion uint64
+	// Sites is the replica-group size the edit was delivered to; Replayed
+	// counts members that acknowledged idempotently instead of re-applying
+	// (they already held this edit from an earlier, partially failed
+	// delivery).
+	Sites    int
+	Replayed int
+	// Dropped, Retained and Patched sum the fates of the sites' cached
+	// Stage-1 entries for this fragment: invalidated because the edit
+	// could affect them, retained because the edit's label footprint and
+	// subtree interval provably cannot, or repaired in place by patching
+	// cached vector state. Also aggregated cluster-wide in
+	// TransportStats.SiteCache.
+	Dropped  int
+	Retained int
+	Patched  int
+	// Retries counts per-replica deliveries attempted again after a
+	// transport failure.
+	Retries       int
+	BytesSent     int64
+	BytesReceived int64
+	TotalCompute  time.Duration
+}
+
+// ApplyEdit applies one edit to the fragment's subtree on every replica
+// hosting it, invalidating only the cached Stage-1 state the edit can
+// actually affect (see SiteCacheStats.ScopedRetained for what survived).
+// Edits on a cluster serialize with each other; queries keep running
+// concurrently, and each in-flight query sees one consistent fragment
+// version end to end — either fully before or fully after the edit, never
+// a mix.
+//
+// On error no fragment version has advanced, and re-issuing the same edit
+// is the safe and exact recovery: replicas that did apply it acknowledge
+// idempotently (counted in EditResult.Replayed), the rest apply it.
+//
+// Note that coordinator planning is intentionally not re-derived: it
+// depends only on facts the edit restrictions pin (fragment count, the
+// cut-point skeleton, spine annotations), so plans compiled before an
+// edit remain exact after it.
+func (c *Cluster) ApplyEdit(e Edit) (*EditResult, error) {
+	//paxlint:allow ctxflow(public blocking wrapper: ApplyEditContext is the flowed form)
+	return c.ApplyEditContext(context.Background(), e)
+}
+
+// ApplyEditContext is ApplyEdit bounded by a context covering every
+// replica delivery, including retry backoff while a replica is down.
+func (c *Cluster) ApplyEditContext(ctx context.Context, e Edit) (*EditResult, error) {
+	if e.Fragment < 0 || e.Fragment >= c.ft.Len() {
+		return nil, fmt.Errorf("paxq: no fragment %d in this cluster (have %d)", e.Fragment, c.ft.Len())
+	}
+	ed, err := e.toFragment()
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.engine.ApplyEdit(ctx, fragment.FragID(e.Fragment), ed)
+	if err != nil {
+		return nil, err
+	}
+	return &EditResult{
+		Fragment:      int(res.Frag),
+		NewVersion:    res.NewVersion,
+		Sites:         res.Sites,
+		Replayed:      res.Replayed,
+		Dropped:       int(res.Dropped),
+		Retained:      int(res.Retained),
+		Patched:       int(res.Patched),
+		Retries:       res.Retries,
+		BytesSent:     res.BytesSent,
+		BytesReceived: res.BytesRecv,
+		TotalCompute:  res.Compute,
+	}, nil
 }
 
 // EvaluateCentralized evaluates query over the unfragmented document with
